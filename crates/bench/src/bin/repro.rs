@@ -1,0 +1,99 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//! repro all [--quick]
+//! repro list
+//! ```
+
+use std::process::ExitCode;
+
+use horizon_bench::{
+    all_experiments, fig_1, fig_10, fig_11, fig_12, fig_13, fig_2, fig_3, fig_4, fig_9,
+    input_sets_report, rate_speed_report, stability_report, table_1, table_2, table_5,
+    table_8, table_9, validation_report, ReproConfig,
+};
+use horizon_core::CoreError;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "table6",
+    "fig7", "fig8", "table7", "rate-speed", "fig9", "fig10", "table8", "fig11", "fig12",
+    "fig13", "table9", "stability",
+];
+
+fn run(experiment: &str, cfg: &ReproConfig) -> Result<String, CoreError> {
+    match experiment {
+        "table1" => table_1(cfg),
+        "table2" => table_2(cfg),
+        "fig1" => fig_1(cfg),
+        "fig2" => fig_2(cfg),
+        "fig3" => fig_3(cfg),
+        "fig4" => fig_4(cfg),
+        "table5" => table_5(cfg),
+        // Figures 5/6 and Table VI come from one validation run.
+        "fig5" | "fig6" | "table6" => validation_report(cfg),
+        // Figures 7/8 and Table VII come from one input-set run.
+        "fig7" | "fig8" | "table7" => input_sets_report(cfg),
+        "rate-speed" => rate_speed_report(cfg),
+        "fig9" => fig_9(cfg),
+        "fig10" => fig_10(cfg),
+        "table8" => table_8(cfg),
+        "fig11" => fig_11(cfg),
+        "fig12" => fig_12(cfg),
+        "fig13" => fig_13(cfg),
+        "table9" => table_9(cfg),
+        "stability" => stability_report(cfg),
+        other => Err(CoreError::InvalidArgument {
+            reason: format!("unknown experiment '{other}' (try `repro list`)"),
+        }),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let cfg = if quick {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::default()
+    };
+
+    match target.as_deref() {
+        None | Some("help") => {
+            eprintln!("usage: repro <experiment|all|list> [--quick]");
+            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+            ExitCode::from(2)
+        }
+        Some("list") => {
+            for e in EXPERIMENTS {
+                println!("{e}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("all") => match all_experiments(&cfg) {
+            Ok(reports) => {
+                for (id, report) in reports {
+                    println!("==================== {id} ====================");
+                    println!("{report}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(experiment) => match run(experiment, &cfg) {
+            Ok(report) => {
+                println!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

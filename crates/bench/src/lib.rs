@@ -1,0 +1,911 @@
+//! Experiment drivers that regenerate every table and figure of the paper.
+//!
+//! Each `table_*` / `fig_*` function runs the full pipeline for one
+//! experiment and returns the report as text. The `repro` binary prints
+//! them; the Criterion benches time them at reduced scale; the integration
+//! tests assert their headline properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use horizon_core::balance::{compare_coverage, power_analysis, removed_coverage};
+use horizon_core::campaign::{Campaign, CampaignResult};
+use horizon_core::classification::{Aspect, Classification};
+use horizon_core::cpi_stack::{cpi_stacks, render_stacks};
+use horizon_core::domains::classify_domains;
+use horizon_core::input_sets::analyze_input_sets;
+use horizon_core::metrics::Metric;
+use horizon_core::rate_speed::{divergent_pairs, rate_speed_distances};
+use horizon_core::report::{ascii_scatter, fmt, format_table};
+use horizon_core::sensitivity::{classify_sensitivity, in_class, SensitivityClass, SensitivityThresholds};
+use horizon_core::similarity::SimilarityAnalysis;
+use horizon_core::subsetting::{representative_subset, simulation_time_reduction, Subset};
+use horizon_core::validation::{average_error, max_error, SpeedupTable};
+use horizon_core::CoreError;
+use horizon_stats::Range;
+use horizon_uarch::MachineConfig;
+use horizon_workloads::systems::{reference_machine, submitted_systems};
+use horizon_workloads::{cpu2000, cpu2006, cpu2017, emerging, Benchmark, SubSuite};
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    /// Simulation window per (workload, machine) pair.
+    pub campaign: Campaign,
+    /// The measurement machines (the paper's Table IV set by default).
+    pub machines: Vec<MachineConfig>,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            campaign: Campaign::default(),
+            machines: MachineConfig::table_iv_machines(),
+        }
+    }
+}
+
+impl ReproConfig {
+    /// A reduced-scale configuration for benches and smoke tests: three
+    /// machines, short windows. Shapes survive; absolute values wobble.
+    pub fn quick() -> Self {
+        ReproConfig {
+            campaign: Campaign::quick(),
+            machines: vec![
+                MachineConfig::skylake_i7_6700(),
+                MachineConfig::sparc_t4(),
+                MachineConfig::opteron_2435(),
+            ],
+        }
+    }
+
+    /// The smallest config that still exercises every pipeline stage: two
+    /// machines and a minimal window. Used by the Criterion experiment
+    /// benches, which time the *pipeline*, not the statistics quality.
+    pub fn smoke() -> Self {
+        ReproConfig {
+            campaign: Campaign {
+                instructions: 15_000,
+                warmup: 5_000,
+                seed: 42,
+            },
+            machines: vec![
+                MachineConfig::skylake_i7_6700(),
+                MachineConfig::sparc_t4(),
+            ],
+        }
+    }
+
+    fn skylake_only(&self) -> Vec<MachineConfig> {
+        vec![MachineConfig::skylake_i7_6700()]
+    }
+}
+
+fn measure(cfg: &ReproConfig, benchmarks: &[Benchmark]) -> CampaignResult {
+    cfg.campaign.measure(benchmarks, &cfg.machines)
+}
+
+fn marker(i: usize) -> char {
+    const MARKS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    MARKS[i % MARKS.len()] as char
+}
+
+/// Table I: dynamic instruction count, instruction mix, and CPI of all 43
+/// CPU2017 benchmarks on the Skylake machine.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table_1(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    let result = cfg.campaign.measure(&benchmarks, &cfg.skylake_only());
+    let rows: Vec<Vec<String>> = benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let m = result.at(i, 0);
+            vec![
+                b.name().to_string(),
+                fmt(b.icount_billions(), 0),
+                fmt(Metric::PctLoads.extract(m), 2),
+                fmt(Metric::PctStores.extract(m), 2),
+                fmt(Metric::PctBranches.extract(m), 2),
+                fmt(m.counters.cpi(), 2),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Table I: Dynamic Instr. Count, Instr. Mix and CPI of the 43 SPEC \
+         CPU2017 benchmarks (simulated Skylake)\n\n{}",
+        format_table(
+            &["Benchmark", "Icount(B)", "Loads%", "Stores%", "Branches%", "CPI"],
+            &rows
+        )
+    ))
+}
+
+/// Table II: min–max ranges of the cache/branch metrics per sub-suite.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table_2(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let metrics = [
+        ("L1D$ MPKI", Metric::L1DMpki),
+        ("L1I$ MPKI", Metric::L1IMpki),
+        ("L2D$ MPKI", Metric::L2DMpki),
+        ("L2I$ MPKI", Metric::L2IMpki),
+        ("L3$ MPKI", Metric::L3Mpki),
+        ("Branch misp. PKI", Metric::BranchMpki),
+    ];
+    let mut columns: Vec<(SubSuite, Vec<Vec<f64>>)> = Vec::new();
+    for sub in [
+        SubSuite::RateInt,
+        SubSuite::SpeedInt,
+        SubSuite::RateFp,
+        SubSuite::SpeedFp,
+    ] {
+        let benchmarks = cpu2017::sub_suite(sub);
+        let result = cfg.campaign.measure(&benchmarks, &cfg.skylake_only());
+        let per_metric: Vec<Vec<f64>> = metrics
+            .iter()
+            .map(|(_, metric)| {
+                (0..benchmarks.len())
+                    .map(|w| metric.extract(result.at(w, 0)))
+                    .collect()
+            })
+            .collect();
+        columns.push((sub, per_metric));
+    }
+    let rows: Vec<Vec<String>> = metrics
+        .iter()
+        .enumerate()
+        .map(|(mi, (label, _))| {
+            let mut row = vec![label.to_string()];
+            for (_, per_metric) in &columns {
+                let range = Range::of(&per_metric[mi]).expect("non-empty sub-suite");
+                row.push(format!("{range}"));
+            }
+            row
+        })
+        .collect();
+    Ok(format!(
+        "Table II: Range of important performance characteristics of SPEC \
+         CPU2017 benchmarks (simulated Skylake)\n\n{}",
+        format_table(
+            &["Metric", "Rate INT", "Speed INT", "Rate FP", "Speed FP"],
+            &rows
+        )
+    ))
+}
+
+/// Figure 1: CPI stacks of the CPU2017 rate benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_1(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut benchmarks = cpu2017::rate_int();
+    benchmarks.extend(cpu2017::rate_fp());
+    let result = cfg.campaign.measure(&benchmarks, &cfg.skylake_only());
+    let rows = cpi_stacks(&result, "Intel Core i7-6700")?;
+    Ok(format!(
+        "Figure 1: CPI stack of CPU2017 rate benchmarks\n\
+         (# base, F frontend, B bad speculation, M memory, C core)\n\n{}",
+        render_stacks(&rows, 0.02)
+    ))
+}
+
+/// A sub-suite's similarity analysis (shared by Figures 2–4 and Table V).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn sub_suite_analysis(
+    cfg: &ReproConfig,
+    sub: SubSuite,
+) -> Result<(SimilarityAnalysis, Vec<Benchmark>), CoreError> {
+    let benchmarks = cpu2017::sub_suite(sub);
+    let result = measure(cfg, &benchmarks);
+    Ok((SimilarityAnalysis::from_campaign(&result)?, benchmarks))
+}
+
+fn dendrogram_figure(
+    cfg: &ReproConfig,
+    sub: SubSuite,
+    title: &str,
+) -> Result<String, CoreError> {
+    let (analysis, _) = sub_suite_analysis(cfg, sub)?;
+    Ok(format!(
+        "{title}\n(PCs retained: {} covering {:.0}% of variance; average linkage)\n\n{}",
+        analysis.pca().components(),
+        analysis.pca().coverage() * 100.0,
+        analysis.render_dendrogram()?
+    ))
+}
+
+/// Figure 2: dendrogram of the SPECspeed INT benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_2(cfg: &ReproConfig) -> Result<String, CoreError> {
+    dendrogram_figure(
+        cfg,
+        SubSuite::SpeedInt,
+        "Figure 2: Similarity between SPECspeed INT benchmarks",
+    )
+}
+
+/// Figure 3: dendrogram of the SPECspeed FP benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_3(cfg: &ReproConfig) -> Result<String, CoreError> {
+    dendrogram_figure(
+        cfg,
+        SubSuite::SpeedFp,
+        "Figure 3: Similarity between SPECspeed FP benchmarks",
+    )
+}
+
+/// Figure 4: dendrogram of the SPECrate FP benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_4(cfg: &ReproConfig) -> Result<String, CoreError> {
+    dendrogram_figure(
+        cfg,
+        SubSuite::RateFp,
+        "Figure 4: Similarity between SPECrate FP benchmarks",
+    )
+}
+
+/// Computes the Table V subset for one sub-suite.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn sub_suite_subset(
+    cfg: &ReproConfig,
+    sub: SubSuite,
+    k: usize,
+) -> Result<(Subset, f64), CoreError> {
+    let (analysis, benchmarks) = sub_suite_analysis(cfg, sub)?;
+    let subset = representative_subset(&analysis, k)?;
+    let icounts: Vec<(String, f64)> = benchmarks
+        .iter()
+        .map(|b| (b.name().to_string(), b.icount_billions()))
+        .collect();
+    let reduction = simulation_time_reduction(&subset, &icounts)?;
+    Ok((subset, reduction))
+}
+
+/// Table V: representative 3-benchmark subsets of the four sub-suites, with
+/// the §IV-A simulation-time reductions and the cut's silhouette quality.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table_5(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut rows = Vec::new();
+    for sub in SubSuite::all() {
+        let (analysis, benchmarks) = sub_suite_analysis(cfg, sub)?;
+        let subset = representative_subset(&analysis, 3)?;
+        let icounts: Vec<(String, f64)> = benchmarks
+            .iter()
+            .map(|b| (b.name().to_string(), b.icount_billions()))
+            .collect();
+        let reduction = simulation_time_reduction(&subset, &icounts)?;
+        let clusters = analysis.dendrogram().cut_into(3);
+        let silhouette =
+            horizon_cluster::mean_silhouette(&clusters, analysis.distances())?;
+        rows.push(vec![
+            sub.to_string(),
+            subset.representatives.join(", "),
+            format!("{:.1}x", reduction),
+            format!("{:.1}", subset.threshold),
+            format!("{silhouette:.2}"),
+        ]);
+    }
+    Ok(format!(
+        "Table V: Representative subsets of the CPU2017 sub-suites\n\n{}",
+        format_table(
+            &[
+                "Sub-suite",
+                "Subset of 3 Benchmarks",
+                "Sim-time reduction",
+                "Cut distance",
+                "Silhouette"
+            ],
+            &rows
+        )
+    ))
+}
+
+/// Figures 5/6 + Table VI: subset validation against commercial systems,
+/// including the two random-subset baselines.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn validation_report(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut out = String::from(
+        "Figures 5/6 and Table VI: Validation of subsets using performance \
+         scores of commercial systems\n\n",
+    );
+    let mut table_vi: Vec<Vec<String>> = Vec::new();
+    for sub in SubSuite::all() {
+        let (subset, _) = sub_suite_subset(cfg, sub, 3)?;
+        let benchmarks = cpu2017::sub_suite(sub);
+        let table = SpeedupTable::measure(
+            &benchmarks,
+            &submitted_systems(sub),
+            &reference_machine(),
+            &cfg.campaign,
+        );
+        let scores = table.validate(&subset.representatives)?;
+        out.push_str(&format!("{sub} (subset: {})\n", subset.representatives.join(", ")));
+        let rows: Vec<Vec<String>> = scores
+            .iter()
+            .map(|s| {
+                vec![
+                    s.system.clone(),
+                    fmt(s.full_score, 2),
+                    fmt(s.subset_score, 2),
+                    format!("{:.1}%", s.error_pct()),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["System", "Full-suite score", "Subset score", "Error"],
+            &rows,
+        ));
+        out.push_str(&format!(
+            "average error {:.1}%, max {:.1}%\n\n",
+            average_error(&scores),
+            max_error(&scores)
+        ));
+
+        // The paper reports two specific random draws; two draws are
+        // luck-dominated, so we report the mean and worst of ten.
+        let rand_errors: Vec<f64> = (1..=10)
+            .map(|seed| Ok(average_error(&table.validate_random(3, seed)?)))
+            .collect::<Result<_, CoreError>>()?;
+        let rand_mean = rand_errors.iter().sum::<f64>() / rand_errors.len() as f64;
+        let rand_worst = rand_errors.iter().cloned().fold(0.0, f64::max);
+        table_vi.push(vec![
+            sub.to_string(),
+            format!("{:.1}%", average_error(&scores)),
+            format!("{rand_mean:.1}%"),
+            format!("{rand_worst:.1}%"),
+        ]);
+    }
+    out.push_str(
+        "Table VI: Accuracy comparison among proposed and random subsets\n\
+         (random column: mean/worst over 10 draws; the paper's two draws\n\
+         landed at 22-50%)\n\n",
+    );
+    out.push_str(&format_table(
+        &["Sub-suite", "Identified subset", "Rand mean(10)", "Rand worst"],
+        &table_vi,
+    ));
+    Ok(out)
+}
+
+/// Figures 7/8 + Table VII: input-set similarity and representative-input
+/// selection.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn input_sets_report(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut out = String::from(
+        "Figures 7/8 and Table VII: Input-set similarity and representative \
+         input sets\n\n",
+    );
+    for (label, benchmarks) in [
+        ("INT benchmarks (Figure 7)", {
+            let mut v = cpu2017::rate_int();
+            v.extend(cpu2017::speed_int());
+            v
+        }),
+        ("FP benchmarks (Figure 8)", {
+            let mut v = cpu2017::rate_fp();
+            v.extend(cpu2017::speed_fp());
+            v
+        }),
+    ] {
+        // Keep the dendrogram readable: only the multi-input benchmarks
+        // plus their aggregates participate, as in the paper's figures.
+        let multi: Vec<Benchmark> = benchmarks
+            .into_iter()
+            .filter(horizon_workloads::inputs::has_multiple_inputs)
+            .collect();
+        if multi.is_empty() {
+            continue;
+        }
+        let (analysis, choices) = analyze_input_sets(&multi, &cfg.machines, &cfg.campaign)?;
+        out.push_str(&format!(
+            "{label}: {} PCs covering {:.0}% of variance\n\n{}\n",
+            analysis.pca().components(),
+            analysis.pca().coverage() * 100.0,
+            analysis.render_dendrogram()?
+        ));
+        let rows: Vec<Vec<String>> = choices
+            .iter()
+            .map(|c| {
+                vec![
+                    c.benchmark.clone(),
+                    format!("input set {}", c.representative),
+                    c.distances_to_aggregate
+                        .iter()
+                        .map(|d| fmt(*d, 2))
+                        .collect::<Vec<_>>()
+                        .join(" / "),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(
+            &["Benchmark", "Representative", "Distances to aggregate"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// §IV-D: rate-vs-speed linkage distances over all 43 benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn rate_speed_report(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    let result = measure(cfg, &benchmarks);
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+    let pairs = rate_speed_distances(&analysis, &benchmarks)?;
+    let (divergent, similar) = divergent_pairs(&pairs);
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .map(|p| {
+            vec![
+                p.stem.clone(),
+                p.rate.clone(),
+                p.speed.clone(),
+                fmt(p.distance, 2),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Section IV-D: Are rate and speed benchmarks different?\n\n{}\n\
+         most divergent: {}\nmost similar: {}\n",
+        format_table(&["Stem", "Rate", "Speed", "PC distance"], &rows),
+        divergent
+            .iter()
+            .map(|p| p.stem.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+        similar
+            .iter()
+            .map(|p| p.stem.as_str())
+            .collect::<Vec<_>>()
+            .join(", "),
+    ))
+}
+
+/// Figure 9: branch-behavior PC scatter over all 43 benchmarks.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_9(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    let result = measure(cfg, &benchmarks);
+    let c = Classification::new(&result, Aspect::Branch)?;
+    let scatter = c.analysis().pc_scatter(0, 1.min(c.analysis().pca().components() - 1))?;
+    let points: Vec<(char, String, f64, f64)> = scatter
+        .iter()
+        .enumerate()
+        .map(|(i, (n, x, y))| (marker(i), n.clone(), *x, *y))
+        .collect();
+    let worst = c.extremes_by_metric(&result, Metric::BranchMpki, 4);
+    let taken = c.extremes_by_metric(&result, Metric::BranchTakenPki, 4);
+    let describe = |pc: usize| -> Result<String, CoreError> {
+        Ok(c.analysis()
+            .dominant_features(pc, 2)?
+            .into_iter()
+            .map(|(l, w)| format!("{l} ({w:+.2})"))
+            .collect::<Vec<_>>()
+            .join(", "))
+    };
+    Ok(format!(
+        "Figure 9: CPU2017 benchmarks in the PC space of branch metrics\n\n{}\n\
+         PC1 dominated by: {}\nPC2 dominated by: {}\n\
+         highest misprediction rates: {}\nhighest taken-branch activity: {}\n",
+        ascii_scatter(&points, 72, 24, "PC1", "PC2"),
+        describe(0)?,
+        describe(1.min(c.analysis().pca().components() - 1))?,
+        worst
+            .iter()
+            .map(|(n, v)| format!("{n} ({v:.1})"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        taken
+            .iter()
+            .map(|(n, v)| format!("{n} ({v:.0})"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    ))
+}
+
+/// Figure 10: data-cache and instruction-cache PC scatters.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_10(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    let result = measure(cfg, &benchmarks);
+    let mut out = String::from(
+        "Figure 10: CPU2017 benchmarks in the PC space of cache metrics\n\n",
+    );
+    for (label, aspect, metric) in [
+        ("Data-cache space (PC1 vs PC2)", Aspect::DataCache, Metric::L1DMpki),
+        (
+            "Instruction-cache space (PC1 vs PC2)",
+            Aspect::InstructionCache,
+            Metric::L1IMpki,
+        ),
+    ] {
+        let c = Classification::new(&result, aspect)?;
+        let k = c.analysis().pca().components();
+        let scatter = c.analysis().pc_scatter(0, 1.min(k - 1))?;
+        let points: Vec<(char, String, f64, f64)> = scatter
+            .iter()
+            .enumerate()
+            .map(|(i, (n, x, y))| (marker(i), n.clone(), *x, *y))
+            .collect();
+        let extremes = c.extremes_by_metric(&result, metric, 4);
+        out.push_str(&format!(
+            "{label}\n\n{}\nextremes by {}: {}\n\n",
+            ascii_scatter(&points, 72, 20, "PC1", "PC2"),
+            metric.label(),
+            extremes
+                .iter()
+                .map(|(n, v)| format!("{n} ({v:.1})"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    Ok(out)
+}
+
+/// Table VIII: application-domain classification with distinct members.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table_8(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    let result = measure(cfg, &benchmarks);
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+    let table = classify_domains(&analysis, &benchmarks, 0.5)?;
+    let rows: Vec<Vec<String>> = table
+        .iter()
+        .map(|e| {
+            vec![
+                e.domain.clone(),
+                e.members.len().to_string(),
+                e.distinct.join(", "),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Table VIII: Classification of benchmarks based on application \
+         domains (distinct members marked)\n\n{}",
+        format_table(&["App domain", "Members", "Distinct benchmarks"], &rows)
+    ))
+}
+
+/// Figure 11 + §V-B: CPU2017 vs CPU2006 coverage and removed-benchmark
+/// coverage gaps.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_11(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let c2017 = cpu2017::all();
+    let c2006 = cpu2006::all();
+    let mut all = c2017.clone();
+    all.extend(c2006.clone());
+    let result = measure(cfg, &all);
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+
+    let names2017: Vec<String> = c2017.iter().map(|b| b.name().to_string()).collect();
+    let names2006: Vec<String> = c2006.iter().map(|b| b.name().to_string()).collect();
+
+    let mut out = String::from("Figure 11: CPU2017 and CPU2006 in the PC workload space\n\n");
+    let k = analysis.pca().components();
+    for (label, px, py) in [("PC1 vs PC2", 0, 1), ("PC3 vs PC4", 2, 3)] {
+        if py >= k {
+            continue;
+        }
+        let cmp = compare_coverage(&analysis, &names2017, &names2006, px, py)?;
+        let scatter = analysis.pc_scatter(px, py)?;
+        let points: Vec<(char, String, f64, f64)> = scatter
+            .iter()
+            .map(|(n, x, y)| {
+                let is2017 = names2017.iter().any(|m| m == n);
+                (
+                    if is2017 { '7' } else { '6' },
+                    if is2017 {
+                        "CPU2017".to_string()
+                    } else {
+                        "CPU2006".to_string()
+                    },
+                    *x,
+                    *y,
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{label}:\n{}\nCPU2017 hull area {:.1}, CPU2006 hull area {:.1} \
+             (ratio {:.2}); {:.0}% of CPU2017 outside CPU2006's hull\n\n",
+            ascii_scatter(&points, 72, 22, "PCx", "PCy"),
+            cmp.area_a,
+            cmp.area_b,
+            cmp.area_a / cmp.area_b.max(1e-9),
+            cmp.outside_fraction * 100.0,
+        ));
+    }
+
+    // §V-B: coverage of the removed CPU2006 benchmarks.
+    let removed: Vec<String> = c2006
+        .iter()
+        .map(|b| b.name().to_string())
+        .filter(|n| !["471.omnetpp", "410.bwaves"].contains(&n.as_str()))
+        .collect();
+    let gaps = removed_coverage(&analysis, &removed, &names2017, 0.77)?;
+    out.push_str("Section V-B: coverage of removed CPU2006 benchmarks\n\n");
+    let rows: Vec<Vec<String>> = gaps
+        .iter()
+        .map(|g| {
+            vec![
+                g.removed.clone(),
+                g.nearest.clone(),
+                fmt(g.distance, 2),
+                if g.uncovered { "NOT COVERED".into() } else { "covered".into() },
+            ]
+        })
+        .collect();
+    out.push_str(&format_table(
+        &["Removed benchmark", "Nearest CPU2017", "Distance", "Verdict"],
+        &rows,
+    ));
+    let uncovered: Vec<&str> = gaps
+        .iter()
+        .filter(|g| g.uncovered)
+        .map(|g| g.removed.as_str())
+        .collect();
+    out.push_str(&format!("\nuncovered: {}\n", uncovered.join(", ")));
+    Ok(out)
+}
+
+/// Figure 12: power-characteristics PC scatter of CPU2017 vs CPU2006 on the
+/// RAPL-capable Intel machines.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_12(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let c2017 = cpu2017::all();
+    let c2006 = cpu2006::all();
+    let mut all = c2017.clone();
+    all.extend(c2006.clone());
+    let result = cfg.campaign.measure(&all, &MachineConfig::rapl_machines());
+    let analysis = power_analysis(&result)?;
+    let names2017: Vec<String> = c2017.iter().map(|b| b.name().to_string()).collect();
+    let names2006: Vec<String> = c2006.iter().map(|b| b.name().to_string()).collect();
+    let cmp = compare_coverage(&analysis, &names2017, &names2006, 0, 1)?;
+    let scatter = analysis.pc_scatter(0, 1)?;
+    let points: Vec<(char, String, f64, f64)> = scatter
+        .iter()
+        .map(|(n, x, y)| {
+            let is2017 = names2017.iter().any(|m| m == n);
+            (
+                if is2017 { '7' } else { '6' },
+                if is2017 { "CPU2017" } else { "CPU2006" }.to_string(),
+                *x,
+                *y,
+            )
+        })
+        .collect();
+    Ok(format!(
+        "Figure 12: CPU2017 and CPU2006 in the PC space of power \
+         characteristics (3 Intel machines)\n\n{}\nCPU2017 hull area {:.1} vs \
+         CPU2006 {:.1} (ratio {:.2})\n",
+        ascii_scatter(&points, 72, 22, "PC1 (DRAM power)", "PC2 (core power)"),
+        cmp.area_a,
+        cmp.area_b,
+        cmp.area_a / cmp.area_b.max(1e-9),
+    ))
+}
+
+/// Figure 13: similarity among CPU2017, EDA, graph-analytics, and database
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn fig_13(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut all = cpu2017::all();
+    all.extend(cpu2000::all());
+    all.extend(emerging::all());
+    let result = measure(cfg, &all);
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+    let mut out = format!(
+        "Figure 13: Similarity among CPU2017, EDA, graph analytics and \
+         database applications\n\n{}\n",
+        analysis.render_dendrogram()?
+    );
+    // Headline claims of §V-D/E/F.
+    for probe in ["175.vpr", "300.twolf", "cas-WA", "cas-WC", "pr-web", "cc-web"] {
+        let i = analysis.index_of(probe)?;
+        let (nearest, dist) = (0..analysis.names().len())
+            .filter(|&j| j != i && cpu2017::all().iter().any(|b| b.name() == analysis.names()[j]))
+            .map(|j| (analysis.names()[j].clone(), analysis.distances().get(i, j)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        out.push_str(&format!(
+            "{probe}: nearest CPU2017 benchmark {nearest} at distance {dist:.2}\n"
+        ));
+    }
+    Ok(out)
+}
+
+/// Table IX: sensitivity classes for branch prediction, L1 D-cache and
+/// L1 D-TLB across four machines.
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn table_9(cfg: &ReproConfig) -> Result<String, CoreError> {
+    let benchmarks = cpu2017::all();
+    // Four machines, as in §V-G: diverse predictors, L1 sizes and TLBs.
+    let machines = vec![
+        MachineConfig::skylake_i7_6700(),
+        MachineConfig::core2_e5405(),
+        MachineConfig::sparc_iv_plus_v490(),
+        MachineConfig::opteron_2435(),
+    ];
+    let result = cfg.campaign.measure(&benchmarks, &machines);
+    let mut out = String::from(
+        "Table IX: Sensitivity to branch misprediction rate, L1 D-cache miss \
+         rate and TLB miss rate (four machines)\n\n",
+    );
+    for (label, metric) in [
+        ("Branch Prediction", Metric::BranchMpki),
+        ("L1 D-cache", Metric::L1DMpki),
+        ("L1 D TLB", Metric::DtlbMpmi),
+    ] {
+        let s = classify_sensitivity(&result, metric, SensitivityThresholds::default())?;
+        out.push_str(&format!(
+            "{label}\n  High:   {}\n  Medium: {}\n\n",
+            in_class(&s, SensitivityClass::High).join(", "),
+            in_class(&s, SensitivityClass::Medium).join(", "),
+        ));
+    }
+    Ok(out)
+}
+
+/// Methodology-robustness report: leave-one-machine-out jackknife of the
+/// SPECspeed INT subset (the §III motivation for seven machines).
+///
+/// # Errors
+///
+/// Propagates pipeline failures.
+pub fn stability_report(cfg: &ReproConfig) -> Result<String, CoreError> {
+    use horizon_core::stability::machine_jackknife;
+    let benchmarks = cpu2017::speed_int();
+    let result = measure(cfg, &benchmarks);
+    let report = machine_jackknife(&result, 3)?;
+    let rows: Vec<Vec<String>> = report
+        .replicates
+        .iter()
+        .map(|r| {
+            vec![
+                r.dropped_machine.clone(),
+                r.representatives.join(", "),
+                format!("{}/3", r.overlap),
+                r.most_distinct.clone(),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Methodology stability: leave-one-machine-out jackknife          (SPECspeed INT, k = 3)
+
+baseline subset: {} (most distinct: {})
+
+{}
+         mean subset overlap {:.0}%, most-distinct agreement {:.0}%
+",
+        report.baseline.join(", "),
+        report.baseline_most_distinct,
+        format_table(
+            &["Dropped machine", "Subset", "Overlap", "Most distinct"],
+            &rows
+        ),
+        report.mean_overlap() * 100.0,
+        report.most_distinct_agreement() * 100.0,
+    ))
+}
+
+/// Every experiment in paper order; each item is `(id, report)`.
+///
+/// # Errors
+///
+/// Propagates the first failing experiment's error.
+pub fn all_experiments(cfg: &ReproConfig) -> Result<Vec<(&'static str, String)>, CoreError> {
+    Ok(vec![
+        ("table1", table_1(cfg)?),
+        ("table2", table_2(cfg)?),
+        ("fig1", fig_1(cfg)?),
+        ("fig2", fig_2(cfg)?),
+        ("fig3", fig_3(cfg)?),
+        ("fig4", fig_4(cfg)?),
+        ("table5", table_5(cfg)?),
+        ("fig5-6+table6", validation_report(cfg)?),
+        ("fig7-8+table7", input_sets_report(cfg)?),
+        ("rate-speed", rate_speed_report(cfg)?),
+        ("fig9", fig_9(cfg)?),
+        ("fig10", fig_10(cfg)?),
+        ("table8", table_8(cfg)?),
+        ("fig11", fig_11(cfg)?),
+        ("fig12", fig_12(cfg)?),
+        ("fig13", fig_13(cfg)?),
+        ("table9", table_9(cfg)?),
+        ("stability", stability_report(cfg)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Full-scale experiment content is exercised by the integration tests;
+    // here we only check driver plumbing at the quick scale.
+
+    #[test]
+    fn table_1_lists_all_benchmarks() {
+        let out = table_1(&ReproConfig::quick()).unwrap();
+        assert!(out.contains("605.mcf_s"));
+        assert!(out.contains("554.roms_r"));
+        assert!(out.matches('\n').count() > 43);
+    }
+
+    #[test]
+    fn table_5_has_four_subsuites() {
+        let out = table_5(&ReproConfig::quick()).unwrap();
+        for sub in SubSuite::all() {
+            assert!(out.contains(&sub.to_string()), "{out}");
+        }
+        assert!(out.contains('x'));
+    }
+
+    #[test]
+    fn fig_2_renders_dendrogram() {
+        let out = fig_2(&ReproConfig::quick()).unwrap();
+        assert!(out.contains("641.leela_s"));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn marker_cycles() {
+        assert_eq!(marker(0), 'a');
+        assert_eq!(marker(26), 'A');
+        assert_eq!(marker(62), 'a');
+    }
+}

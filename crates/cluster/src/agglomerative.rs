@@ -1,0 +1,219 @@
+//! The agglomerative clustering algorithm (Lance–Williams updates).
+
+use horizon_stats::DistanceMatrix;
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::{ClusterError, Linkage};
+
+/// Hierarchically clusters the observations described by a pairwise
+/// [`DistanceMatrix`].
+///
+/// Runs the classic O(n³) agglomerative algorithm with Lance–Williams
+/// distance updates — entirely adequate for benchmark-suite-sized inputs
+/// (n ≤ ~100) and simple enough to audit against textbook definitions.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Empty`] if the distance matrix covers zero
+/// observations.
+///
+/// # Example
+///
+/// ```
+/// use horizon_cluster::{cluster, Linkage};
+/// use horizon_stats::{DistanceMatrix, Matrix, Metric};
+///
+/// let pts = Matrix::from_rows(vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![9.0, 9.0]])?;
+/// let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+/// let tree = cluster(&d, Linkage::Complete)?;
+/// // The two nearby points merge first, at distance 1.
+/// assert_eq!(tree.merges()[0].height, 1.0);
+/// # Ok::<(), horizon_cluster::ClusterError>(())
+/// ```
+pub fn cluster(distances: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
+    let n = distances.len();
+    if n == 0 {
+        return Err(ClusterError::Empty);
+    }
+    if n == 1 {
+        return Ok(Dendrogram::new(1, linkage, Vec::new()));
+    }
+
+    // Working distance matrix between *active* clusters, full square for
+    // simplicity. active[i] is the current node id of cluster slot i, or
+    // usize::MAX when the slot has been merged away.
+    let mut dist = vec![vec![0.0f64; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = distances.get(i, j);
+        }
+    }
+    let mut node_id: Vec<usize> = (0..n).collect();
+    let mut size: Vec<usize> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut merges = Vec::with_capacity(n - 1);
+
+    for step in 0..n - 1 {
+        // Find the closest pair of alive slots. Ties break toward the
+        // smallest indices, making results deterministic.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (i, row) in dist.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            for (j, &d) in row.iter().enumerate().skip(i + 1) {
+                if !alive[j] {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (a, b, h) = best.expect("at least two alive clusters");
+
+        // Record the merge; the new cluster occupies slot `a`.
+        let new_id = n + step;
+        merges.push(Merge {
+            left: node_id[a],
+            right: node_id[b],
+            height: h,
+            size: size[a] + size[b],
+        });
+
+        let (na, nb) = (size[a] as f64, size[b] as f64);
+        for c in 0..n {
+            if !alive[c] || c == a || c == b {
+                continue;
+            }
+            let (aa, ab, beta, gamma) = linkage.coefficients(na, nb, size[c] as f64);
+            let dac = dist[a][c];
+            let dbc = dist[b][c];
+            let dab = dist[a][b];
+            let updated = aa * dac + ab * dbc + beta * dab + gamma * (dac - dbc).abs();
+            dist[a][c] = updated;
+            dist[c][a] = updated;
+        }
+        size[a] += size[b];
+        node_id[a] = new_id;
+        alive[b] = false;
+    }
+
+    Ok(Dendrogram::new(n, linkage, merges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horizon_stats::{Matrix, Metric};
+
+    fn dm(rows: Vec<Vec<f64>>) -> DistanceMatrix {
+        let m = Matrix::from_rows(rows).unwrap();
+        DistanceMatrix::from_observations(&m, Metric::Euclidean)
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let d = DistanceMatrix::from_condensed(0, vec![]).unwrap();
+        assert!(matches!(
+            cluster(&d, Linkage::Average),
+            Err(ClusterError::Empty)
+        ));
+    }
+
+    #[test]
+    fn two_points_single_merge() {
+        let d = dm(vec![vec![0.0], vec![3.0]]);
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        assert_eq!(tree.merges().len(), 1);
+        let m = tree.merges()[0];
+        assert_eq!(m.height, 3.0);
+        assert_eq!(m.size, 2);
+        assert_eq!((m.left, m.right), (0, 1));
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        // Points 0-1-2 spaced 1 apart, point 3 far away. Single linkage
+        // chains the line at height 1 before touching the outlier.
+        let d = dm(vec![vec![0.0], vec![1.0], vec![2.0], vec![50.0]]);
+        let tree = cluster(&d, Linkage::Single).unwrap();
+        assert!((tree.merges()[0].height - 1.0).abs() < 1e-12);
+        assert!((tree.merges()[1].height - 1.0).abs() < 1e-12);
+        assert!(tree.merges()[2].height > 40.0);
+    }
+
+    #[test]
+    fn complete_linkage_heights_exceed_single() {
+        let d = dm(vec![vec![0.0], vec![1.0], vec![2.0], vec![3.5]]);
+        let single = cluster(&d, Linkage::Single).unwrap();
+        let complete = cluster(&d, Linkage::Complete).unwrap();
+        assert!(complete.max_height() >= single.max_height());
+    }
+
+    #[test]
+    fn average_linkage_known_height() {
+        // Clusters {0,1} at 0/1 and {2} at 10: average distance from {0,1}
+        // to {2} is (10 + 9) / 2 = 9.5.
+        let d = dm(vec![vec![0.0], vec![1.0], vec![10.0]]);
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        assert!((tree.merges()[1].height - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ward_prefers_balanced_compact_merges() {
+        let d = dm(vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]]);
+        let tree = cluster(&d, Linkage::Ward).unwrap();
+        // The two tight pairs merge first under Ward.
+        let firsts: Vec<(usize, usize)> = tree
+            .merges()
+            .iter()
+            .take(2)
+            .map(|m| (m.left, m.right))
+            .collect();
+        assert!(firsts.contains(&(0, 1)));
+        assert!(firsts.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Equidistant points: results must be reproducible run-to-run.
+        let d = dm(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.5, 0.866]]);
+        let t1 = cluster(&d, Linkage::Average).unwrap();
+        let t2 = cluster(&d, Linkage::Average).unwrap();
+        assert_eq!(t1.merges(), t2.merges());
+        // Ties break to the lowest index pair.
+        assert_eq!(t1.merges()[0].left, 0);
+    }
+
+    #[test]
+    fn merge_sizes_accumulate_to_n() {
+        let d = dm(vec![vec![0.0], vec![2.0], vec![5.0], vec![9.0], vec![14.0]]);
+        for link in Linkage::all() {
+            let tree = cluster(&d, link).unwrap();
+            assert_eq!(tree.merges().last().unwrap().size, 5, "{link}");
+        }
+    }
+
+    #[test]
+    fn all_linkages_produce_valid_trees() {
+        let d = dm(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![5.0, 0.0],
+            vec![6.0, 1.0],
+            vec![0.0, 8.0],
+            vec![1.0, 9.0],
+        ]);
+        for link in Linkage::all() {
+            let tree = cluster(&d, link).unwrap();
+            assert_eq!(tree.merges().len(), 5, "{link}");
+            let cut = tree.cut_into(3);
+            assert_eq!(cut.len(), 3, "{link}");
+            // The three natural pairs should be recovered by every linkage.
+            assert!(cut.contains(&vec![0, 1]), "{link}: {cut:?}");
+            assert!(cut.contains(&vec![2, 3]), "{link}: {cut:?}");
+            assert!(cut.contains(&vec![4, 5]), "{link}: {cut:?}");
+        }
+    }
+}

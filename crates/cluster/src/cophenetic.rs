@@ -1,0 +1,179 @@
+//! Cophenetic distances — how faithfully a dendrogram preserves the input
+//! distances. Used to pick a linkage criterion defensibly (DESIGN.md §5.3).
+
+use horizon_stats::{DistanceMatrix, StatsError};
+
+use crate::{ClusterError, Dendrogram};
+
+/// Pairwise cophenetic distance matrix of a dendrogram: entry `(i, j)` is
+/// the height at which leaves `i` and `j` first share a cluster.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Empty`] for an empty tree.
+pub fn cophenetic_matrix(tree: &Dendrogram) -> Result<DistanceMatrix, ClusterError> {
+    let n = tree.len();
+    if n == 0 {
+        return Err(ClusterError::Empty);
+    }
+    // Build bottom-up: track leaves under each node, fill pair heights when
+    // two groups join. O(n²) total work across all merges.
+    let mut heights = vec![0.0f64; n * n.saturating_sub(1) / 2];
+    let idx = |i: usize, j: usize| -> usize {
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        a * n - a * (a + 1) / 2 + (b - a - 1)
+    };
+    let mut members: Vec<Vec<usize>> = (0..n).map(|l| vec![l]).collect();
+    for m in tree.merges() {
+        let left = std::mem::take(&mut members[m.left]);
+        let right = std::mem::take(&mut members[m.right]);
+        for &i in &left {
+            for &j in &right {
+                heights[idx(i, j)] = m.height;
+            }
+        }
+        let mut all = left;
+        all.extend(right);
+        members.push(all);
+    }
+    DistanceMatrix::from_condensed(n, heights).map_err(ClusterError::from)
+}
+
+/// Cophenetic correlation coefficient: Pearson correlation between the
+/// original distances and the cophenetic distances. Values near 1 indicate
+/// the dendrogram faithfully represents the pairwise structure.
+///
+/// # Errors
+///
+/// * [`ClusterError::LabelMismatch`] if tree and distance matrix disagree on
+///   the number of observations.
+/// * [`ClusterError::Empty`] for fewer than 2 observations.
+pub fn cophenetic_correlation(
+    tree: &Dendrogram,
+    distances: &DistanceMatrix,
+) -> Result<f64, ClusterError> {
+    if tree.len() != distances.len() {
+        return Err(ClusterError::LabelMismatch {
+            observations: distances.len(),
+            labels: tree.len(),
+        });
+    }
+    if tree.len() < 2 {
+        return Err(ClusterError::Empty);
+    }
+    let coph = cophenetic_matrix(tree)?;
+    let a = distances.condensed();
+    let b = coph.condensed();
+    if a.len() < 2 {
+        // Two observations → a single pair; the dendrogram trivially
+        // reproduces that distance exactly.
+        return Ok(1.0);
+    }
+    pearson(a, b).map_err(ClusterError::from)
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    if a.len() < 2 {
+        return Err(StatsError::Empty);
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cluster, Linkage};
+    use horizon_stats::{Matrix, Metric};
+
+    fn well_separated() -> DistanceMatrix {
+        let pts = Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![10.0, 0.0],
+            vec![10.5, 0.0],
+            vec![0.0, 30.0],
+        ])
+        .unwrap();
+        DistanceMatrix::from_observations(&pts, Metric::Euclidean)
+    }
+
+    #[test]
+    fn cophenetic_matrix_matches_merge_heights() {
+        let d = well_separated();
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        let coph = cophenetic_matrix(&tree).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(
+                    (coph.get(i, j) - tree.merge_height(i, j)).abs() < 1e-12,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_is_ultrametric() {
+        // max(d(i,k), d(k,j)) >= d(i,j) for all triples.
+        let d = well_separated();
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        let coph = cophenetic_matrix(&tree).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    assert!(coph.get(i, j) <= coph.get(i, k).max(coph.get(k, j)) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_high_for_well_separated_clusters() {
+        let d = well_separated();
+        for link in Linkage::all() {
+            let tree = cluster(&d, link).unwrap();
+            let c = cophenetic_correlation(&tree, &d).unwrap();
+            assert!(c > 0.85, "{link}: {c}");
+        }
+    }
+
+    #[test]
+    fn correlation_rejects_mismatch() {
+        let d = well_separated();
+        let small = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let dsmall = DistanceMatrix::from_observations(&small, Metric::Euclidean);
+        let tree = cluster(&dsmall, Linkage::Average).unwrap();
+        assert!(matches!(
+            cophenetic_correlation(&tree, &d),
+            Err(ClusterError::LabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_linkage_cophenetic_never_exceeds_input() {
+        // Single-linkage cophenetic distances are the minimax path distances,
+        // which never exceed the direct distance.
+        let d = well_separated();
+        let tree = cluster(&d, Linkage::Single).unwrap();
+        let coph = cophenetic_matrix(&tree).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!(coph.get(i, j) <= d.get(i, j) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The dendrogram (merge tree) produced by agglomerative clustering.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Linkage;
+
+/// One agglomeration step.
+///
+/// Node ids follow the scipy convention: ids `0..n` are the original
+/// observations (leaves); merge `k` creates node `n + k`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// First merged node id.
+    pub left: usize,
+    /// Second merged node id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened (the dendrogram height).
+    pub height: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// A full hierarchical clustering of `n` observations: `n − 1` merges.
+///
+/// # Example
+///
+/// ```
+/// use horizon_cluster::{cluster, Linkage};
+/// use horizon_stats::{DistanceMatrix, Matrix, Metric};
+///
+/// let pts = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![10.0]])?;
+/// let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+/// let tree = cluster(&d, Linkage::Single)?;
+/// assert_eq!(tree.len(), 3);
+/// assert_eq!(tree.merges().len(), 2);
+/// // Cutting between the two merge heights separates the outlier.
+/// let cut = tree.cut_at(5.0);
+/// assert_eq!(cut.len(), 2);
+/// # Ok::<(), horizon_cluster::ClusterError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    n: usize,
+    linkage: Linkage,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    pub(crate) fn new(n: usize, linkage: Linkage, merges: Vec<Merge>) -> Self {
+        debug_assert_eq!(merges.len(), n.saturating_sub(1));
+        Dendrogram { n, linkage, merges }
+    }
+
+    /// Number of observations (leaves).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the tree has no leaves (never produced by [`crate::cluster`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Linkage criterion used to build this tree.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// The merge sequence, in merge order (non-decreasing height for
+    /// monotone linkages).
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Height of the final merge — the scale of the whole dendrogram.
+    ///
+    /// Returns 0.0 for a single-observation tree.
+    pub fn max_height(&self) -> f64 {
+        self.merges.last().map_or(0.0, |m| m.height)
+    }
+
+    /// Cuts the tree at a linkage distance: merges with `height > threshold`
+    /// are undone. Returns the clusters as sorted lists of leaf indices,
+    /// ordered by each cluster's smallest leaf.
+    ///
+    /// This is the paper's "vertical line drawn at a linkage distance of
+    /// 17.5" operation (§IV-A).
+    pub fn cut_at(&self, threshold: f64) -> Vec<Vec<usize>> {
+        // Union-find over leaves; apply merges with height <= threshold.
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        // Track a leaf exemplar for every internal node id.
+        let mut node_leaf: Vec<usize> = (0..self.n).collect();
+        for (k, m) in self.merges.iter().enumerate() {
+            let la = node_leaf[m.left];
+            let lb = node_leaf[m.right];
+            node_leaf.push(la);
+            if m.height <= threshold {
+                let ra = find(&mut parent, la);
+                let rb = find(&mut parent, lb);
+                parent[ra] = rb;
+            }
+            debug_assert_eq!(node_leaf.len(), self.n + k + 1);
+        }
+        self.collect_clusters(&mut parent)
+    }
+
+    /// Cuts the tree into exactly `k` clusters (clamped to `1..=n`), by
+    /// undoing the last `k − 1` merges.
+    pub fn cut_into(&self, k: usize) -> Vec<Vec<usize>> {
+        let k = k.clamp(1, self.n.max(1));
+        let keep = self.n - k; // number of merges to apply
+        let mut parent: Vec<usize> = (0..self.n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut node_leaf: Vec<usize> = (0..self.n).collect();
+        for (i, m) in self.merges.iter().enumerate() {
+            let la = node_leaf[m.left];
+            let lb = node_leaf[m.right];
+            node_leaf.push(la);
+            if i < keep {
+                let ra = find(&mut parent, la);
+                let rb = find(&mut parent, lb);
+                parent[ra] = rb;
+            }
+        }
+        self.collect_clusters(&mut parent)
+    }
+
+    /// The smallest threshold at which cutting yields at most `k` clusters.
+    ///
+    /// Useful for reporting "a vertical line drawn at distance X yields a
+    /// subset of 3 benchmarks". Returns 0.0 when `k >= n`.
+    pub fn threshold_for(&self, k: usize) -> f64 {
+        if k >= self.n || self.merges.is_empty() {
+            return 0.0;
+        }
+        let k = k.max(1);
+        // Applying merges in order, after `n - k` merges we have k clusters.
+        // The threshold is the height of the last merge applied.
+        self.merges[self.n - k - 1].height
+    }
+
+    /// Leaf ordering for display: left-to-right traversal of the tree so
+    /// that merged clusters are adjacent (as in published dendrograms).
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        if self.merges.is_empty() {
+            return vec![0];
+        }
+        // children[id] = (left, right) for internal nodes.
+        let root = self.n + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n);
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if id < self.n {
+                order.push(id);
+            } else {
+                let m = &self.merges[id - self.n];
+                // Push right first so left is visited first.
+                stack.push(m.right);
+                stack.push(m.left);
+            }
+        }
+        order
+    }
+
+    /// Height at which leaves `i` and `j` first end up in the same cluster
+    /// (their cophenetic distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn merge_height(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "leaf index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        // Walk merges; `members_of` maps node id -> leaves beneath it. Each
+        // node is merged at most once, so its leaf list can be moved out.
+        let mut members_of: Vec<Vec<usize>> = (0..self.n).map(|l| vec![l]).collect();
+        for m in &self.merges {
+            let left_leaves = std::mem::take(&mut members_of[m.left]);
+            let right_leaves = std::mem::take(&mut members_of[m.right]);
+            let li = left_leaves.contains(&i);
+            let lj = left_leaves.contains(&j);
+            let ri = right_leaves.contains(&i);
+            let rj = right_leaves.contains(&j);
+            if (li && rj) || (lj && ri) {
+                return m.height;
+            }
+            let mut leaves = left_leaves;
+            leaves.extend(right_leaves);
+            members_of.push(leaves);
+        }
+        self.max_height()
+    }
+
+    /// Exports the tree in Newick format with branch lengths, for external
+    /// tools (R's `ape`, iTOL, dendroscope).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `labels.len() != self.len()`.
+    pub fn to_newick<S: AsRef<str>>(&self, labels: &[S]) -> Result<String, String> {
+        if labels.len() != self.n {
+            return Err(format!(
+                "{} labels for {} leaves",
+                labels.len(),
+                self.n
+            ));
+        }
+        if self.n == 1 {
+            return Ok(format!("{};", labels[0].as_ref()));
+        }
+        // Height of each node (leaves at 0).
+        let mut heights = vec![0.0f64; self.n + self.merges.len()];
+        let mut repr: Vec<String> = labels
+            .iter()
+            .map(|l| l.as_ref().replace([' ', '(', ')', ',', ':', ';'], "_"))
+            .collect();
+        for (k, m) in self.merges.iter().enumerate() {
+            let id = self.n + k;
+            heights[id] = m.height;
+            let bl = |child: usize| (m.height - heights[child]).max(0.0);
+            let text = format!(
+                "({}:{:.4},{}:{:.4})",
+                repr[m.left],
+                bl(m.left),
+                repr[m.right],
+                bl(m.right)
+            );
+            repr.push(text);
+        }
+        Ok(format!("{};", repr.last().expect("at least one merge")))
+    }
+
+    /// Suggests a cluster count by the largest relative gap between
+    /// consecutive merge heights ("knee" heuristic): cutting just below the
+    /// biggest jump separates well-formed clusters from forced merges.
+    ///
+    /// Returns 1 for trees with fewer than 3 leaves.
+    pub fn suggest_cut(&self) -> usize {
+        if self.n < 3 {
+            return 1;
+        }
+        let mut best_k = 2;
+        let mut best_gap = f64::NEG_INFINITY;
+        // Merge i joins n-i clusters into n-i-1; the gap between merge i-1
+        // and merge i belongs to a cut at k = n - i clusters.
+        for i in 1..self.merges.len() {
+            let gap = self.merges[i].height - self.merges[i - 1].height;
+            if gap > best_gap {
+                best_gap = gap;
+                best_k = self.n - i;
+            }
+        }
+        best_k.clamp(2, self.n)
+    }
+
+    fn collect_clusters(&self, parent: &mut [usize]) -> Vec<Vec<usize>> {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for leaf in 0..self.n {
+            let root = find(parent, leaf);
+            groups.entry(root).or_default().push(leaf);
+        }
+        let mut clusters: Vec<Vec<usize>> = groups.into_values().collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+        clusters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{cluster, Linkage};
+    use horizon_stats::{DistanceMatrix, Matrix, Metric};
+
+    fn line_points() -> DistanceMatrix {
+        let pts = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![0.5],
+            vec![4.0],
+            vec![4.4],
+            vec![20.0],
+        ])
+        .unwrap();
+        DistanceMatrix::from_observations(&pts, Metric::Euclidean)
+    }
+
+    #[test]
+    fn merge_count_is_n_minus_1() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.merges().len(), 4);
+    }
+
+    #[test]
+    fn cut_at_zero_gives_singletons() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let cut = tree.cut_at(0.0);
+        assert_eq!(cut.len(), 5);
+        for (i, c) in cut.iter().enumerate() {
+            assert_eq!(c, &vec![i]);
+        }
+    }
+
+    #[test]
+    fn cut_at_max_gives_one_cluster() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let cut = tree.cut_at(tree.max_height());
+        assert_eq!(cut.len(), 1);
+        assert_eq!(cut[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cut_into_exact_k() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        for k in 1..=5 {
+            assert_eq!(tree.cut_into(k).len(), k, "k={k}");
+        }
+        // Clamping.
+        assert_eq!(tree.cut_into(0).len(), 1);
+        assert_eq!(tree.cut_into(99).len(), 5);
+    }
+
+    #[test]
+    fn natural_three_clusters() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let cut = tree.cut_into(3);
+        assert_eq!(cut, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn threshold_for_matches_cut() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        for k in 1..5 {
+            let t = tree.threshold_for(k);
+            assert!(tree.cut_at(t).len() <= k, "k={k} t={t}");
+        }
+        assert_eq!(tree.threshold_for(5), 0.0);
+    }
+
+    #[test]
+    fn leaf_order_is_permutation_with_adjacency() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let order = tree.leaf_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        // 0 and 1 merge first, so they are adjacent in display order.
+        let pos0 = order.iter().position(|&x| x == 0).unwrap();
+        let pos1 = order.iter().position(|&x| x == 1).unwrap();
+        assert_eq!(pos0.abs_diff(pos1), 1);
+    }
+
+    #[test]
+    fn merge_height_reflects_topology() {
+        let tree = cluster(&line_points(), Linkage::Single).unwrap();
+        // 0,1 merge at 0.5; 2,3 at 0.4; {0,1} and {2,3} at 3.5; outlier last.
+        assert!((tree.merge_height(0, 1) - 0.5).abs() < 1e-12);
+        assert!((tree.merge_height(2, 3) - 0.4).abs() < 1e-12);
+        assert!(tree.merge_height(0, 2) > tree.merge_height(0, 1));
+        assert_eq!(tree.merge_height(4, 4), 0.0);
+        assert!(tree.merge_height(0, 4) >= tree.merge_height(0, 2));
+    }
+
+    #[test]
+    fn heights_non_decreasing_for_average_linkage() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        for w in tree.merges().windows(2) {
+            assert!(w[1].height >= w[0].height - 1e-12);
+        }
+    }
+
+    #[test]
+    fn newick_round_shape() {
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let nw = tree.to_newick(&["a", "b", "c", "d", "e"]).unwrap();
+        assert!(nw.ends_with(';'));
+        assert_eq!(nw.matches('(').count(), 4); // n-1 internal nodes
+        for l in ["a", "b", "c", "d", "e"] {
+            assert!(nw.contains(l));
+        }
+        // Branch lengths present.
+        assert!(nw.contains(':'));
+        // Label sanitization.
+        let nw2 = tree
+            .to_newick(&["a b", "c(d)", "e,f", "g:h", "i;j"])
+            .unwrap();
+        assert!(nw2.contains("a_b"));
+        assert!(tree.to_newick(&["too", "few"]).is_err());
+    }
+
+    #[test]
+    fn suggest_cut_finds_the_gap() {
+        // Two tight pairs + one far outlier: the natural cut is 3 clusters
+        // (the last-but-one merge gap dominates) or 2 (outlier split).
+        let tree = cluster(&line_points(), Linkage::Average).unwrap();
+        let k = tree.suggest_cut();
+        assert!((2..=3).contains(&k), "{k}");
+        // Degenerate trees.
+        let pts = Matrix::from_rows(vec![vec![0.0], vec![1.0]]).unwrap();
+        let d2 = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+        assert_eq!(cluster(&d2, Linkage::Average).unwrap().suggest_cut(), 1);
+    }
+
+    #[test]
+    fn single_observation_tree() {
+        let pts = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.max_height(), 0.0);
+        assert_eq!(tree.cut_at(1.0), vec![vec![0]]);
+        assert_eq!(tree.leaf_order(), vec![0]);
+    }
+}

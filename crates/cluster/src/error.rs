@@ -1,0 +1,73 @@
+use std::fmt;
+
+use horizon_stats::StatsError;
+
+/// Errors produced by clustering operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// Clustering requires at least one observation.
+    Empty,
+    /// A label list did not match the number of observations.
+    LabelMismatch {
+        /// Number of observations in the tree.
+        observations: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An underlying statistics error (e.g. malformed distance matrix).
+    Stats(StatsError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Empty => write!(f, "clustering requires at least one observation"),
+            ClusterError::LabelMismatch {
+                observations,
+                labels,
+            } => write!(
+                f,
+                "label count {labels} does not match observation count {observations}"
+            ),
+            ClusterError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for ClusterError {
+    fn from(e: StatsError) -> Self {
+        ClusterError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ClusterError::Empty.to_string().contains("at least one"));
+        let lm = ClusterError::LabelMismatch {
+            observations: 3,
+            labels: 2,
+        };
+        assert!(lm.to_string().contains("label count 2"));
+    }
+
+    #[test]
+    fn from_stats_error() {
+        let e: ClusterError = StatsError::Empty.into();
+        assert!(matches!(e, ClusterError::Stats(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Linkage criteria and their Lance–Williams update coefficients.
+
+use serde::{Deserialize, Serialize};
+
+/// Criterion for the distance between two clusters during agglomeration.
+///
+/// All criteria are implemented through the Lance–Williams recurrence: when
+/// clusters `a` and `b` merge into `ab`, the distance from `ab` to any other
+/// cluster `c` is
+///
+/// ```text
+/// d(ab, c) = αa·d(a,c) + αb·d(b,c) + β·d(a,b) + γ·|d(a,c) − d(b,c)|
+/// ```
+///
+/// with coefficients depending on the criterion (and, for Average/Ward, on
+/// cluster sizes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Linkage {
+    /// Minimum pairwise distance (chaining-prone, fine-grained).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA) — the default used
+    /// for benchmark subsetting, following Phansalkar et al. (ISCA'07).
+    #[default]
+    Average,
+    /// Weighted average (WPGMA): both children contribute equally regardless
+    /// of size.
+    Weighted,
+    /// Ward's minimum-variance criterion. Heights grow with merged variance;
+    /// requires squared-Euclidean semantics for textbook interpretation but
+    /// is well-defined on any dissimilarity.
+    Ward,
+}
+
+impl Linkage {
+    /// Lance–Williams coefficients `(αa, αb, β, γ)` for merging clusters of
+    /// sizes `na` and `nb`, relative to a cluster of size `nc`.
+    pub(crate) fn coefficients(self, na: f64, nb: f64, nc: f64) -> (f64, f64, f64, f64) {
+        match self {
+            Linkage::Single => (0.5, 0.5, 0.0, -0.5),
+            Linkage::Complete => (0.5, 0.5, 0.0, 0.5),
+            Linkage::Average => {
+                let nab = na + nb;
+                (na / nab, nb / nab, 0.0, 0.0)
+            }
+            Linkage::Weighted => (0.5, 0.5, 0.0, 0.0),
+            Linkage::Ward => {
+                let denom = na + nb + nc;
+                (
+                    (na + nc) / denom,
+                    (nb + nc) / denom,
+                    -nc / denom,
+                    0.0,
+                )
+            }
+        }
+    }
+
+    /// All supported linkage criteria, useful for ablation sweeps.
+    pub fn all() -> [Linkage; 5] {
+        [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Weighted,
+            Linkage::Ward,
+        ]
+    }
+}
+
+impl std::fmt::Display for Linkage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Linkage::Single => "single",
+            Linkage::Complete => "complete",
+            Linkage::Average => "average",
+            Linkage::Weighted => "weighted",
+            Linkage::Ward => "ward",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_coefficients_weight_by_size() {
+        let (aa, ab, b, g) = Linkage::Average.coefficients(3.0, 1.0, 5.0);
+        assert_eq!(aa, 0.75);
+        assert_eq!(ab, 0.25);
+        assert_eq!(b, 0.0);
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn single_and_complete_differ_only_in_gamma() {
+        let s = Linkage::Single.coefficients(2.0, 2.0, 2.0);
+        let c = Linkage::Complete.coefficients(2.0, 2.0, 2.0);
+        assert_eq!(s.0, c.0);
+        assert_eq!(s.3, -0.5);
+        assert_eq!(c.3, 0.5);
+    }
+
+    #[test]
+    fn ward_coefficients_sum_sensibly() {
+        let (aa, ab, b, _) = Linkage::Ward.coefficients(1.0, 1.0, 1.0);
+        // αa + αb + β = 1 for Ward.
+        assert!((aa + ab + b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Linkage::Average.to_string(), "average");
+        assert_eq!(Linkage::Ward.to_string(), "ward");
+    }
+
+    #[test]
+    fn all_lists_every_variant() {
+        assert_eq!(Linkage::all().len(), 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! ASCII dendrogram rendering, in the style of the paper's Figures 2–4:
+//! benchmarks on the y-axis, linkage distance on the x-axis.
+
+use crate::{ClusterError, Dendrogram};
+
+/// Options controlling dendrogram rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderOptions {
+    /// Width in characters of the distance axis (excluding labels).
+    pub width: usize,
+    /// Whether to print a linkage-distance axis below the tree.
+    pub axis: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 60,
+            axis: true,
+        }
+    }
+}
+
+/// Renders a dendrogram as ASCII art.
+///
+/// Leaves are listed top-to-bottom in dendrogram display order; branch
+/// positions are proportional to linkage distance, growing to the right.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::LabelMismatch`] if `labels.len() != tree.len()`
+/// and [`ClusterError::Empty`] for an empty tree.
+///
+/// # Example
+///
+/// ```
+/// use horizon_cluster::{cluster, render_ascii, Linkage, RenderOptions};
+/// use horizon_stats::{DistanceMatrix, Matrix, Metric};
+///
+/// let pts = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![8.0]])?;
+/// let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+/// let tree = cluster(&d, Linkage::Average)?;
+/// let art = render_ascii(&tree, &["a", "b", "c"], &RenderOptions::default())?;
+/// assert!(art.contains("a "));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_ascii<S: AsRef<str>>(
+    tree: &Dendrogram,
+    labels: &[S],
+    options: &RenderOptions,
+) -> Result<String, ClusterError> {
+    let n = tree.len();
+    if n == 0 {
+        return Err(ClusterError::Empty);
+    }
+    if labels.len() != n {
+        return Err(ClusterError::LabelMismatch {
+            observations: n,
+            labels: labels.len(),
+        });
+    }
+    let label_width = labels
+        .iter()
+        .map(|l| l.as_ref().chars().count())
+        .max()
+        .unwrap_or(0);
+
+    if n == 1 {
+        return Ok(format!("{}\n", labels[0].as_ref()));
+    }
+
+    let order = tree.leaf_order();
+    // row of each node id (leaves: their display row; internal: midpoint).
+    let total_nodes = n + tree.merges().len();
+    let mut row = vec![0.0f64; total_nodes];
+    for (display_row, &leaf) in order.iter().enumerate() {
+        row[leaf] = display_row as f64;
+    }
+    let max_h = tree.max_height().max(f64::MIN_POSITIVE);
+    let width = options.width.max(10);
+    let xpos = |h: f64| -> usize { ((h / max_h) * (width - 1) as f64).round() as usize };
+
+    // Character grid: one text row per leaf.
+    let mut grid = vec![vec![' '; width + 1]; n];
+    // Column of each node (leaves at 0, internal nodes at their height).
+    let mut col = vec![0usize; total_nodes];
+
+    for (k, m) in tree.merges().iter().enumerate() {
+        let id = n + k;
+        let x = xpos(m.height).max(1);
+        col[id] = x;
+        row[id] = (row[m.left] + row[m.right]) / 2.0;
+
+        for &child in &[m.left, m.right] {
+            let r = row[child].round() as usize;
+            let from = col[child];
+            for c in grid[r].iter_mut().take(x).skip(from) {
+                if *c == ' ' {
+                    *c = '-';
+                }
+            }
+        }
+        // Vertical connector at column x between the two child rows.
+        let r1 = row[m.left].round() as usize;
+        let r2 = row[m.right].round() as usize;
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        for (r, row) in grid.iter_mut().enumerate().take(hi + 1).skip(lo) {
+            row[x] = if r == lo || r == hi {
+                '+'
+            } else if row[x] == ' ' || row[x] == '-' {
+                '|'
+            } else {
+                row[x]
+            };
+        }
+    }
+
+    let mut out = String::new();
+    for (display_row, &leaf) in order.iter().enumerate() {
+        let label = labels[leaf].as_ref();
+        out.push_str(&format!("{label:<label_width$} "));
+        let line: String = grid[display_row].iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    if options.axis {
+        out.push_str(&format!("{:<label_width$} ", ""));
+        out.push_str(&"=".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<label_width$} 0{:>w$.2}\n",
+            "",
+            max_h,
+            w = width - 1
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cluster, Linkage};
+    use horizon_stats::{DistanceMatrix, Matrix, Metric};
+
+    fn tree3() -> Dendrogram {
+        let pts = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![8.0]]).unwrap();
+        let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+        cluster(&d, Linkage::Average).unwrap()
+    }
+
+    #[test]
+    fn renders_all_labels() {
+        let art = render_ascii(&tree3(), &["alpha", "beta", "gamma"], &RenderOptions::default())
+            .unwrap();
+        assert!(art.contains("alpha"));
+        assert!(art.contains("beta"));
+        assert!(art.contains("gamma"));
+    }
+
+    #[test]
+    fn close_leaves_are_adjacent_lines() {
+        let art =
+            render_ascii(&tree3(), &["a", "b", "c"], &RenderOptions::default()).unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        let pa = lines.iter().position(|l| l.starts_with('a')).unwrap();
+        let pb = lines.iter().position(|l| l.starts_with('b')).unwrap();
+        assert_eq!(pa.abs_diff(pb), 1);
+    }
+
+    #[test]
+    fn axis_can_be_disabled() {
+        let opts = RenderOptions {
+            axis: false,
+            ..Default::default()
+        };
+        let art = render_ascii(&tree3(), &["a", "b", "c"], &opts).unwrap();
+        assert!(!art.contains('='));
+    }
+
+    #[test]
+    fn label_mismatch_errors() {
+        assert!(matches!(
+            render_ascii(&tree3(), &["a"], &RenderOptions::default()),
+            Err(ClusterError::LabelMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn single_leaf_renders_label_only() {
+        let pts = Matrix::from_rows(vec![vec![0.0]]).unwrap();
+        let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+        let tree = cluster(&d, Linkage::Average).unwrap();
+        let art = render_ascii(&tree, &["solo"], &RenderOptions::default()).unwrap();
+        assert_eq!(art, "solo\n");
+    }
+
+    #[test]
+    fn branches_present() {
+        let art = render_ascii(&tree3(), &["a", "b", "c"], &RenderOptions::default()).unwrap();
+        assert!(art.contains('-'));
+        assert!(art.contains('+'));
+    }
+}

@@ -1,0 +1,170 @@
+//! Representative (exemplar) selection for clusters.
+//!
+//! After cutting a dendrogram into `k` clusters, the paper picks, per
+//! cluster, "the benchmark with the shortest linkage distance" — i.e. the
+//! member closest to the rest of its cluster (the medoid). That subset is
+//! then used instead of the whole suite.
+
+use horizon_stats::DistanceMatrix;
+use serde::{Deserialize, Serialize};
+
+use crate::ClusterError;
+
+/// A chosen exemplar for one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Representative {
+    /// Index of the chosen observation (into the original observation list).
+    pub index: usize,
+    /// All members of the cluster it represents (sorted).
+    pub members: Vec<usize>,
+    /// Mean distance from the representative to its fellow members
+    /// (0.0 for singleton clusters).
+    pub mean_distance: f64,
+}
+
+/// Selects the medoid of each cluster: the member minimizing the mean
+/// distance to the other members. Singleton clusters represent themselves.
+///
+/// Ties break toward the lower observation index for determinism.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Empty`] if `clusters` is empty or any cluster is
+/// empty, and [`ClusterError::LabelMismatch`] if any member index is out of
+/// range for the distance matrix.
+///
+/// # Example
+///
+/// ```
+/// use horizon_cluster::select_representatives;
+/// use horizon_stats::{DistanceMatrix, Matrix, Metric};
+///
+/// let pts = Matrix::from_rows(vec![vec![0.0], vec![1.0], vec![2.0], vec![50.0]])?;
+/// let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+/// let reps = select_representatives(&[vec![0, 1, 2], vec![3]], &d)?;
+/// assert_eq!(reps[0].index, 1); // the middle point is the medoid
+/// assert_eq!(reps[1].index, 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn select_representatives(
+    clusters: &[Vec<usize>],
+    distances: &DistanceMatrix,
+) -> Result<Vec<Representative>, ClusterError> {
+    if clusters.is_empty() {
+        return Err(ClusterError::Empty);
+    }
+    let n = distances.len();
+    let mut reps = Vec::with_capacity(clusters.len());
+    for members in clusters {
+        if members.is_empty() {
+            return Err(ClusterError::Empty);
+        }
+        if let Some(&bad) = members.iter().find(|&&m| m >= n) {
+            return Err(ClusterError::LabelMismatch {
+                observations: n,
+                labels: bad + 1,
+            });
+        }
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+
+        let (best, best_mean) = sorted
+            .iter()
+            .map(|&cand| {
+                let mean = if sorted.len() == 1 {
+                    0.0
+                } else {
+                    sorted
+                        .iter()
+                        .filter(|&&o| o != cand)
+                        .map(|&o| distances.get(cand, o))
+                        .sum::<f64>()
+                        / (sorted.len() - 1) as f64
+                };
+                (cand, mean)
+            })
+            .min_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite distances")
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("non-empty cluster");
+
+        reps.push(Representative {
+            index: best,
+            members: sorted,
+            mean_distance: best_mean,
+        });
+    }
+    Ok(reps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horizon_stats::{Matrix, Metric};
+
+    fn line() -> DistanceMatrix {
+        let pts = Matrix::from_rows(vec![
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![10.0],
+            vec![11.0],
+        ])
+        .unwrap();
+        DistanceMatrix::from_observations(&pts, Metric::Euclidean)
+    }
+
+    #[test]
+    fn medoid_of_line_is_middle() {
+        let reps = select_representatives(&[vec![0, 1, 2]], &line()).unwrap();
+        assert_eq!(reps[0].index, 1);
+        assert_eq!(reps[0].members, vec![0, 1, 2]);
+        assert_eq!(reps[0].mean_distance, 1.0);
+    }
+
+    #[test]
+    fn singleton_represents_itself() {
+        let reps = select_representatives(&[vec![3]], &line()).unwrap();
+        assert_eq!(reps[0].index, 3);
+        assert_eq!(reps[0].mean_distance, 0.0);
+    }
+
+    #[test]
+    fn pair_ties_break_to_lower_index() {
+        let reps = select_representatives(&[vec![3, 4]], &line()).unwrap();
+        assert_eq!(reps[0].index, 3);
+    }
+
+    #[test]
+    fn multiple_clusters() {
+        let reps = select_representatives(&[vec![0, 1, 2], vec![3, 4]], &line()).unwrap();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].index, 1);
+        assert_eq!(reps[1].index, 3);
+    }
+
+    #[test]
+    fn unsorted_members_are_handled() {
+        let reps = select_representatives(&[vec![2, 0, 1]], &line()).unwrap();
+        assert_eq!(reps[0].index, 1);
+        assert_eq!(reps[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn errors_on_empty_and_out_of_range() {
+        assert!(matches!(
+            select_representatives(&[], &line()),
+            Err(ClusterError::Empty)
+        ));
+        assert!(matches!(
+            select_representatives(&[vec![]], &line()),
+            Err(ClusterError::Empty)
+        ));
+        assert!(matches!(
+            select_representatives(&[vec![99]], &line()),
+            Err(ClusterError::LabelMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Silhouette scores: how well a flat clustering separates observations.
+//!
+//! Used to sanity-check the paper's k = 3 subset cuts: a positive mean
+//! silhouette means members sit closer to their own cluster than to the
+//! nearest foreign one.
+
+use horizon_stats::DistanceMatrix;
+
+use crate::ClusterError;
+
+/// Mean silhouette coefficient of a flat clustering, in `[-1, 1]`.
+///
+/// Observations in singleton clusters contribute 0, following the standard
+/// convention.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Empty`] for an empty clustering and
+/// [`ClusterError::LabelMismatch`] if the clusters do not cover exactly the
+/// matrix's observations.
+pub fn mean_silhouette(
+    clusters: &[Vec<usize>],
+    distances: &DistanceMatrix,
+) -> Result<f64, ClusterError> {
+    let scores = silhouette_scores(clusters, distances)?;
+    Ok(scores.iter().sum::<f64>() / scores.len() as f64)
+}
+
+/// Per-observation silhouette coefficients, indexed by observation.
+///
+/// # Errors
+///
+/// See [`mean_silhouette`].
+pub fn silhouette_scores(
+    clusters: &[Vec<usize>],
+    distances: &DistanceMatrix,
+) -> Result<Vec<f64>, ClusterError> {
+    let n = distances.len();
+    if clusters.is_empty() || n == 0 {
+        return Err(ClusterError::Empty);
+    }
+    let covered: usize = clusters.iter().map(Vec::len).sum();
+    let mut owner = vec![usize::MAX; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &m in members {
+            if m >= n || owner[m] != usize::MAX {
+                return Err(ClusterError::LabelMismatch {
+                    observations: n,
+                    labels: covered,
+                });
+            }
+            owner[m] = c;
+        }
+    }
+    if covered != n {
+        return Err(ClusterError::LabelMismatch {
+            observations: n,
+            labels: covered,
+        });
+    }
+
+    let mean_dist_to = |i: usize, members: &[usize]| -> f64 {
+        let others: Vec<f64> = members
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| distances.get(i, j))
+            .collect();
+        if others.is_empty() {
+            0.0
+        } else {
+            others.iter().sum::<f64>() / others.len() as f64
+        }
+    };
+
+    Ok((0..n)
+        .map(|i| {
+            let own = &clusters[owner[i]];
+            if own.len() < 2 {
+                return 0.0;
+            }
+            let a = mean_dist_to(i, own);
+            let b = clusters
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| *c != owner[i])
+                .map(|(_, members)| mean_dist_to(i, members))
+                .fold(f64::INFINITY, f64::min);
+            if b.is_infinite() {
+                0.0
+            } else if a.max(b) > 0.0 {
+                (b - a) / a.max(b)
+            } else {
+                0.0
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horizon_stats::{Matrix, Metric};
+
+    fn dm(rows: Vec<Vec<f64>>) -> DistanceMatrix {
+        DistanceMatrix::from_observations(&Matrix::from_rows(rows).unwrap(), Metric::Euclidean)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let d = dm(vec![
+            vec![0.0],
+            vec![0.5],
+            vec![10.0],
+            vec![10.5],
+        ]);
+        let s = mean_silhouette(&[vec![0, 1], vec![2, 3]], &d).unwrap();
+        assert!(s > 0.8, "{s}");
+    }
+
+    #[test]
+    fn wrong_assignment_scores_negative() {
+        let d = dm(vec![
+            vec![0.0],
+            vec![0.5],
+            vec![10.0],
+            vec![10.5],
+        ]);
+        // Swap one member across: its silhouette goes negative.
+        let scores = silhouette_scores(&[vec![0, 2], vec![1, 3]], &d).unwrap();
+        assert!(scores.iter().any(|&s| s < 0.0), "{scores:?}");
+    }
+
+    #[test]
+    fn singletons_contribute_zero() {
+        let d = dm(vec![vec![0.0], vec![5.0], vec![10.0]]);
+        let scores = silhouette_scores(&[vec![0], vec![1], vec![2]], &d).unwrap();
+        assert_eq!(scores, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_bad_partitions() {
+        let d = dm(vec![vec![0.0], vec![1.0]]);
+        assert!(mean_silhouette(&[], &d).is_err());
+        assert!(mean_silhouette(&[vec![0]], &d).is_err()); // misses obs 1
+        assert!(mean_silhouette(&[vec![0, 0], vec![1]], &d).is_err()); // dup
+        assert!(mean_silhouette(&[vec![0, 5]], &d).is_err()); // out of range
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for hierarchical clustering invariants.
+
+use horizon_cluster::{
+    cluster, cophenetic_correlation, cophenetic_matrix, select_representatives, Linkage,
+};
+use horizon_stats::{DistanceMatrix, Matrix, Metric};
+use proptest::prelude::*;
+
+fn observations(max_n: usize) -> impl Strategy<Value = Matrix> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, 3), n..=n)
+            .prop_map(|rows| Matrix::from_rows(rows).expect("well-formed"))
+    })
+}
+
+fn linkage() -> impl Strategy<Value = Linkage> {
+    prop_oneof![
+        Just(Linkage::Single),
+        Just(Linkage::Complete),
+        Just(Linkage::Average),
+        Just(Linkage::Weighted),
+        Just(Linkage::Ward),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn merge_count_and_final_size(x in observations(12), link in linkage()) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        prop_assert_eq!(tree.merges().len(), x.rows() - 1);
+        prop_assert_eq!(tree.merges().last().unwrap().size, x.rows());
+    }
+
+    #[test]
+    fn cut_into_partitions_all_leaves(x in observations(12), link in linkage(), k in 1usize..12) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let clusters = tree.cut_into(k);
+        let mut all: Vec<usize> = clusters.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..x.rows()).collect();
+        prop_assert_eq!(all, expect);
+        prop_assert_eq!(clusters.len(), k.clamp(1, x.rows()));
+    }
+
+    #[test]
+    fn cut_at_is_monotone_in_threshold(x in observations(10), link in linkage()) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let h = tree.max_height();
+        let mut prev = usize::MAX;
+        for step in 0..=4 {
+            let t = h * step as f64 / 4.0;
+            let count = tree.cut_at(t).len();
+            prop_assert!(count <= prev);
+            prev = count;
+        }
+        prop_assert_eq!(prev, 1);
+    }
+
+    #[test]
+    fn monotone_heights_for_non_inverting_linkages(x in observations(12)) {
+        // Single/complete/average linkages never produce inversions.
+        for link in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+            let tree = cluster(&d, link).unwrap();
+            for w in tree.merges().windows(2) {
+                prop_assert!(w[1].height >= w[0].height - 1e-9, "{}", link);
+            }
+        }
+    }
+
+    #[test]
+    fn single_linkage_first_merge_is_closest_pair(x in observations(12)) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, Linkage::Single).unwrap();
+        let (_, _, closest) = d.closest_pair().unwrap();
+        prop_assert!((tree.merges()[0].height - closest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cophenetic_ultrametric(x in observations(9), link in linkage()) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let coph = cophenetic_matrix(&tree).unwrap();
+        let n = x.rows();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    prop_assert!(
+                        coph.get(i, j) <= coph.get(i, k).max(coph.get(k, j)) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cophenetic_correlation_in_bounds(x in observations(10), link in linkage()) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let c = cophenetic_correlation(&tree, &d).unwrap();
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn representatives_are_members(x in observations(12), link in linkage(), k in 1usize..6) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let clusters = tree.cut_into(k);
+        let reps = select_representatives(&clusters, &d).unwrap();
+        prop_assert_eq!(reps.len(), clusters.len());
+        for (rep, members) in reps.iter().zip(&clusters) {
+            prop_assert!(members.contains(&rep.index));
+            // The medoid's mean distance is minimal among members.
+            for &m in members {
+                let mean = if members.len() == 1 { 0.0 } else {
+                    members.iter().filter(|&&o| o != m).map(|&o| d.get(m, o)).sum::<f64>()
+                        / (members.len() - 1) as f64
+                };
+                prop_assert!(rep.mean_distance <= mean + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_order_is_permutation(x in observations(12), link in linkage()) {
+        let d = DistanceMatrix::from_observations(&x, Metric::Euclidean);
+        let tree = cluster(&d, link).unwrap();
+        let mut order = tree.leaf_order();
+        order.sort_unstable();
+        let expect: Vec<usize> = (0..x.rows()).collect();
+        prop_assert_eq!(order, expect);
+    }
+}

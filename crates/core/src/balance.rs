@@ -1,0 +1,242 @@
+//! Suite-balance studies (§V, Figures 11–13).
+//!
+//! * CPU2017 vs CPU2006 coverage of the PC workload space (Figure 11),
+//!   via convex-hull areas and outside-fraction counts,
+//! * coverage of removed CPU2006 benchmarks (§V-B),
+//! * the power-characteristics spectrum (Figure 12),
+//! * the mixed dendrogram with EDA/graph/database workloads (Figure 13).
+
+use horizon_cluster::Linkage;
+use horizon_stats::Retention;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::CampaignResult;
+use crate::metrics::Metric;
+use crate::similarity::SimilarityAnalysis;
+use crate::CoreError;
+
+/// Convex-hull area of a 2-D point set (0 for fewer than 3 points).
+pub fn coverage_area(points: &[(f64, f64)]) -> f64 {
+    let hull = convex_hull(points);
+    polygon_area(&hull)
+}
+
+/// Andrew's monotone-chain convex hull; returns hull vertices in
+/// counter-clockwise order.
+fn convex_hull(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite points"));
+    pts.dedup();
+    if pts.len() < 3 {
+        return pts;
+    }
+    let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+    let mut lower: Vec<(f64, f64)> = Vec::new();
+    for &p in &pts {
+        while lower.len() >= 2 && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<(f64, f64)> = Vec::new();
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+fn polygon_area(hull: &[(f64, f64)]) -> f64 {
+    if hull.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..hull.len() {
+        let (x1, y1) = hull[i];
+        let (x2, y2) = hull[(i + 1) % hull.len()];
+        acc += x1 * y2 - x2 * y1;
+    }
+    acc.abs() / 2.0
+}
+
+/// True if `p` lies inside (or on) the convex hull of `points`.
+fn inside_hull(p: (f64, f64), hull: &[(f64, f64)]) -> bool {
+    if hull.len() < 3 {
+        return false;
+    }
+    let cross = |o: (f64, f64), a: (f64, f64), b: (f64, f64)| {
+        (a.0 - o.0) * (b.1 - o.1) - (a.1 - o.1) * (b.0 - o.0)
+    };
+    (0..hull.len()).all(|i| cross(hull[i], hull[(i + 1) % hull.len()], p) >= -1e-12)
+}
+
+/// Coverage comparison of two suites in one PC plane (Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageComparison {
+    /// Convex-hull area of suite A.
+    pub area_a: f64,
+    /// Convex-hull area of suite B.
+    pub area_b: f64,
+    /// Fraction of suite-A points outside suite B's hull.
+    pub outside_fraction: f64,
+}
+
+/// Compares suite A's coverage against suite B's in the `(pc_x, pc_y)`
+/// plane of a joint analysis.
+///
+/// # Errors
+///
+/// Propagates name/PC lookup failures.
+pub fn compare_coverage(
+    analysis: &SimilarityAnalysis,
+    suite_a: &[String],
+    suite_b: &[String],
+    pc_x: usize,
+    pc_y: usize,
+) -> Result<CoverageComparison, CoreError> {
+    let scatter = analysis.pc_scatter(pc_x, pc_y)?;
+    let pick = |names: &[String]| -> Result<Vec<(f64, f64)>, CoreError> {
+        names
+            .iter()
+            .map(|n| {
+                scatter
+                    .iter()
+                    .find(|(name, _, _)| name == n)
+                    .map(|&(_, x, y)| (x, y))
+                    .ok_or_else(|| CoreError::NotFound {
+                        kind: "workload",
+                        name: n.clone(),
+                    })
+            })
+            .collect()
+    };
+    let a = pick(suite_a)?;
+    let b = pick(suite_b)?;
+    let hull_b = convex_hull(&b);
+    let outside = a.iter().filter(|&&p| !inside_hull(p, &hull_b)).count();
+    Ok(CoverageComparison {
+        area_a: coverage_area(&a),
+        area_b: coverage_area(&b),
+        outside_fraction: outside as f64 / a.len().max(1) as f64,
+    })
+}
+
+/// A removed benchmark together with its nearest CPU2017 neighbor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageGap {
+    /// Removed CPU2006 benchmark name.
+    pub removed: String,
+    /// Closest CPU2017 benchmark.
+    pub nearest: String,
+    /// Distance to that neighbor in PC space.
+    pub distance: f64,
+    /// True if the distance exceeds the coverage threshold (the benchmark's
+    /// performance spectrum is *not* covered, §V-B).
+    pub uncovered: bool,
+}
+
+/// Checks which removed CPU2006 benchmarks CPU2017 fails to cover: a
+/// removed benchmark is uncovered when its nearest CPU2017 neighbor is
+/// farther than `threshold_fraction` × the space's mean pairwise distance.
+///
+/// # Errors
+///
+/// Propagates name lookups for benchmarks missing from the analysis.
+pub fn removed_coverage(
+    analysis: &SimilarityAnalysis,
+    removed: &[String],
+    cpu2017: &[String],
+    threshold_fraction: f64,
+) -> Result<Vec<CoverageGap>, CoreError> {
+    let n = analysis.names().len();
+    let mut total = 0.0;
+    let mut count = 0;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += analysis.distances().get(i, j);
+            count += 1;
+        }
+    }
+    let mean = if count > 0 { total / count as f64 } else { 0.0 };
+    let threshold = mean * threshold_fraction;
+
+    removed
+        .iter()
+        .map(|r| {
+            let ri = analysis.index_of(r)?;
+            let (nearest, distance) = cpu2017
+                .iter()
+                .map(|c| {
+                    let ci = analysis.index_of(c)?;
+                    Ok((c.clone(), analysis.distances().get(ri, ci)))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()?
+                .into_iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .ok_or_else(|| CoreError::InvalidArgument {
+                    reason: "empty CPU2017 list".into(),
+                })?;
+            Ok(CoverageGap {
+                removed: r.clone(),
+                uncovered: distance > threshold,
+                nearest,
+                distance,
+            })
+        })
+        .collect()
+}
+
+/// Builds the Figure 12 power-spectrum analysis: PCA over the power metrics
+/// (core/LLC/DRAM watts) of a campaign run on the RAPL-capable machines.
+///
+/// # Errors
+///
+/// Propagates PCA failures.
+pub fn power_analysis(result: &CampaignResult) -> Result<SimilarityAnalysis, CoreError> {
+    SimilarityAnalysis::from_campaign_with(
+        result,
+        &Metric::power_set(),
+        Retention::All,
+        Linkage::Average,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_area_of_unit_square() {
+        let pts = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0), (0.5, 0.5)];
+        assert!((coverage_area(&pts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_point_sets_have_zero_area() {
+        assert_eq!(coverage_area(&[]), 0.0);
+        assert_eq!(coverage_area(&[(1.0, 1.0)]), 0.0);
+        assert_eq!(coverage_area(&[(0.0, 0.0), (2.0, 3.0)]), 0.0);
+        // Collinear points.
+        assert!(coverage_area(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]) < 1e-12);
+    }
+
+    #[test]
+    fn inside_hull_checks() {
+        let square = convex_hull(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]);
+        assert!(inside_hull((1.0, 1.0), &square));
+        assert!(!inside_hull((3.0, 1.0), &square));
+        assert!(inside_hull((0.0, 0.0), &square)); // boundary counts
+    }
+
+    // Cross-crate coverage/balance behavior is exercised in the
+    // integration tests (tests/balance.rs) with real campaigns.
+}

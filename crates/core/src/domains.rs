@@ -1,0 +1,155 @@
+//! Application-domain classification (§IV-F, Table VIII).
+//!
+//! Within each application domain, the paper marks the benchmarks with
+//! *distinct* performance behavior — the set one should run to cover that
+//! domain's performance spectrum. We reproduce the selection rule: greedily
+//! keep benchmarks whose distance to every already-kept benchmark exceeds a
+//! coverage threshold (rate versions preferred as they are shorter-running).
+
+use horizon_workloads::{ApplicationDomain, Benchmark};
+use serde::{Deserialize, Serialize};
+
+use crate::similarity::SimilarityAnalysis;
+use crate::CoreError;
+
+/// Domain classification of one benchmark group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainEntry {
+    /// The application domain.
+    pub domain: String,
+    /// All member benchmark names.
+    pub members: Vec<String>,
+    /// The members marked distinct (bold in Table VIII).
+    pub distinct: Vec<String>,
+}
+
+/// Builds the Table VIII classification: groups `benchmarks` by domain and
+/// marks the distinct members of each group.
+///
+/// The threshold is a fraction (e.g. `0.5`) of the analysis-wide mean
+/// pairwise distance: a member is redundant if it lies within
+/// `threshold_fraction × mean distance` of an already-kept member.
+///
+/// # Errors
+///
+/// Propagates name-lookup failures if `analysis` does not contain all
+/// benchmarks.
+pub fn classify_domains(
+    analysis: &SimilarityAnalysis,
+    benchmarks: &[Benchmark],
+    threshold_fraction: f64,
+) -> Result<Vec<DomainEntry>, CoreError> {
+    // Mean pairwise distance across the whole space.
+    let n = analysis.names().len();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            total += analysis.distances().get(i, j);
+            count += 1;
+        }
+    }
+    let mean = if count > 0 { total / count as f64 } else { 0.0 };
+    let threshold = mean * threshold_fraction;
+
+    // Group by domain, preserving catalog order.
+    let mut domains: Vec<(ApplicationDomain, Vec<&Benchmark>)> = Vec::new();
+    for b in benchmarks {
+        match domains.iter_mut().find(|(d, _)| *d == b.domain()) {
+            Some((_, members)) => members.push(b),
+            None => domains.push((b.domain(), vec![b])),
+        }
+    }
+
+    domains
+        .into_iter()
+        .map(|(domain, members)| {
+            // Prefer rate versions as representatives: "we mark only the
+            // rate versions … (as they are short-running)" (§IV-F).
+            let mut ordered: Vec<&Benchmark> = members.clone();
+            ordered.sort_by_key(|b| !b.name().ends_with("_r") as u8);
+
+            let mut distinct: Vec<String> = Vec::new();
+            for b in &ordered {
+                let i = analysis.index_of(b.name())?;
+                let redundant = distinct.iter().any(|kept| {
+                    analysis
+                        .index_of(kept)
+                        .map(|k| analysis.distances().get(i, k) < threshold)
+                        .unwrap_or(false)
+                });
+                if !redundant {
+                    distinct.push(b.name().to_string());
+                }
+            }
+            Ok(DomainEntry {
+                domain: domain.to_string(),
+                members: members.iter().map(|b| b.name().to_string()).collect(),
+                distinct,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use horizon_uarch::MachineConfig;
+    use horizon_workloads::cpu2017;
+
+    fn setup() -> (SimilarityAnalysis, Vec<Benchmark>) {
+        let mut benchmarks = cpu2017::rate_int();
+        benchmarks.extend(cpu2017::speed_int());
+        let r = Campaign::quick().measure(
+            &benchmarks,
+            &[
+                MachineConfig::skylake_i7_6700(),
+                MachineConfig::sparc_t4(),
+            ],
+        );
+        (SimilarityAnalysis::from_campaign(&r).unwrap(), benchmarks)
+    }
+
+    #[test]
+    fn every_domain_has_at_least_one_distinct_member() {
+        let (analysis, benchmarks) = setup();
+        let table = classify_domains(&analysis, &benchmarks, 0.5).unwrap();
+        assert!(!table.is_empty());
+        for entry in &table {
+            assert!(!entry.distinct.is_empty(), "{}", entry.domain);
+            for d in &entry.distinct {
+                assert!(entry.members.contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_versions_preferred_for_similar_pairs() {
+        // §IV-F: perlbench rate/speed are near-identical, so the rate
+        // version should carry the domain.
+        let (analysis, benchmarks) = setup();
+        let table = classify_domains(&analysis, &benchmarks, 0.5).unwrap();
+        let compiler = table.iter().find(|e| e.domain == "Compiler").unwrap();
+        assert!(compiler.distinct.iter().any(|n| n == "500.perlbench_r"));
+        assert!(!compiler.distinct.iter().any(|n| n == "600.perlbench_s"));
+    }
+
+    #[test]
+    fn tighter_threshold_marks_more_distinct() {
+        let (analysis, benchmarks) = setup();
+        let loose = classify_domains(&analysis, &benchmarks, 1.2).unwrap();
+        let tight = classify_domains(&analysis, &benchmarks, 0.05).unwrap();
+        let count = |t: &[DomainEntry]| t.iter().map(|e| e.distinct.len()).sum::<usize>();
+        assert!(count(&tight) >= count(&loose));
+    }
+
+    #[test]
+    fn ai_domain_contains_three_benchmark_families() {
+        let (analysis, benchmarks) = setup();
+        let table = classify_domains(&analysis, &benchmarks, 0.5).unwrap();
+        let ai = table.iter().find(|e| e.domain == "AI").unwrap();
+        // deepsjeng, leela, exchange2 in rate+speed = 6 members.
+        assert_eq!(ai.members.len(), 6);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+use horizon_cluster::ClusterError;
+use horizon_stats::StatsError;
+
+/// Errors produced by the analysis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying statistics failure.
+    Stats(StatsError),
+    /// An underlying clustering failure.
+    Cluster(ClusterError),
+    /// A benchmark or machine name was not found in a campaign result.
+    NotFound {
+        /// What was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// An analysis was asked for an impossible shape (e.g. subset size 0).
+    InvalidArgument {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::Cluster(e) => write!(f, "clustering error: {e}"),
+            CoreError::NotFound { kind, name } => write!(f, "{kind} not found: {name}"),
+            CoreError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CoreError = StatsError::Empty.into();
+        assert!(e.to_string().contains("statistics"));
+        let e: CoreError = ClusterError::Empty.into();
+        assert!(e.to_string().contains("clustering"));
+        let e = CoreError::NotFound {
+            kind: "benchmark",
+            name: "nope".into(),
+        };
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

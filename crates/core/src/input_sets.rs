@@ -1,0 +1,167 @@
+//! Representative input-set selection (§IV-C, Figures 7/8, Table VII).
+//!
+//! For each multi-input benchmark, all input-set variants plus the
+//! runtime-weighted *aggregate* profile are measured and projected into a
+//! common PC space; the representative input is the one closest to the
+//! aggregate.
+
+use horizon_stats::euclidean;
+use horizon_uarch::MachineConfig;
+use horizon_workloads::{inputs, Benchmark};
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::Campaign;
+use crate::similarity::SimilarityAnalysis;
+use crate::CoreError;
+
+/// Outcome of input-set analysis for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputSetChoice {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// 1-based index of the representative input set (Table VII).
+    pub representative: usize,
+    /// Distances of every input set to the aggregate, in input order.
+    pub distances_to_aggregate: Vec<f64>,
+}
+
+/// Analyzes the input sets of several benchmarks in one shared PC space.
+///
+/// All input-set variants and aggregates of all `benchmarks` are measured
+/// together (as in the paper's Figure 7, which holds every INT benchmark's
+/// inputs in one dendrogram), then each benchmark's representative input is
+/// the variant closest to its aggregate.
+///
+/// Returns the shared [`SimilarityAnalysis`] (for dendrogram rendering) and
+/// one [`InputSetChoice`] per multi-input benchmark.
+///
+/// # Errors
+///
+/// Propagates campaign/PCA/clustering failures.
+pub fn analyze_input_sets(
+    benchmarks: &[Benchmark],
+    machines: &[MachineConfig],
+    campaign: &Campaign,
+) -> Result<(SimilarityAnalysis, Vec<InputSetChoice>), CoreError> {
+    let mut profiles = Vec::new();
+    let mut groups: Vec<(String, Vec<usize>, usize)> = Vec::new(); // (bench, input idxs, aggregate idx)
+    for b in benchmarks {
+        let sets = inputs::input_sets(b);
+        if sets.len() < 2 {
+            // Single-input benchmarks appear in the space under their name.
+            profiles.push(b.profile().clone());
+            continue;
+        }
+        let mut idxs = Vec::with_capacity(sets.len());
+        for s in &sets {
+            idxs.push(profiles.len());
+            profiles.push(s.profile.clone());
+        }
+        let agg_idx = profiles.len();
+        profiles.push(inputs::aggregate_profile(b));
+        groups.push((b.name().to_string(), idxs, agg_idx));
+    }
+
+    let result = campaign.measure_profiles(&profiles, machines);
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+
+    let scores = analysis.pca().scores();
+    let choices = groups
+        .into_iter()
+        .map(|(benchmark, idxs, agg)| {
+            let agg_row = scores.row(agg);
+            let distances: Vec<f64> = idxs
+                .iter()
+                .map(|&i| euclidean(scores.row(i), agg_row))
+                .collect();
+            let best = distances
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+                .map(|(i, _)| i + 1)
+                .expect("at least two inputs");
+            InputSetChoice {
+                benchmark,
+                representative: best,
+                distances_to_aggregate: distances,
+            }
+        })
+        .collect();
+    Ok((analysis, choices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horizon_workloads::cpu2017;
+
+    fn machines() -> Vec<MachineConfig> {
+        vec![
+            MachineConfig::skylake_i7_6700(),
+            MachineConfig::sparc_t4(),
+        ]
+    }
+
+    fn pick(benchmarks: &[Benchmark]) -> (SimilarityAnalysis, Vec<InputSetChoice>) {
+        analyze_input_sets(benchmarks, &machines(), &Campaign::quick()).unwrap()
+    }
+
+    #[test]
+    fn multi_input_benchmarks_get_choices() {
+        let all = cpu2017::rate_int();
+        let subset: Vec<Benchmark> = all
+            .into_iter()
+            .filter(|b| ["502.gcc_r", "505.mcf_r", "557.xz_r"].contains(&b.name()))
+            .collect();
+        let (analysis, choices) = pick(&subset);
+        // gcc (5 inputs) and xz (2 inputs) are analyzed; mcf is single-input.
+        assert_eq!(choices.len(), 2);
+        let gcc = choices.iter().find(|c| c.benchmark == "502.gcc_r").unwrap();
+        assert_eq!(gcc.distances_to_aggregate.len(), 5);
+        assert!(gcc.representative >= 1 && gcc.representative <= 5);
+        // The space contains inputs + aggregates + the single-input bench.
+        assert!(analysis.names().iter().any(|n| n == "505.mcf_r"));
+        assert!(analysis.names().iter().any(|n| n == "502.gcc_r.is3"));
+        assert!(analysis.names().iter().any(|n| n == "502.gcc_r.aggregate"));
+    }
+
+    #[test]
+    fn representative_is_argmin_distance() {
+        let all = cpu2017::rate_int();
+        let subset: Vec<Benchmark> = all
+            .into_iter()
+            .filter(|b| b.name() == "525.x264_r")
+            .collect();
+        let (_, choices) = pick(&subset);
+        let c = &choices[0];
+        let min = c
+            .distances_to_aggregate
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(c.distances_to_aggregate[c.representative - 1], min);
+    }
+
+    #[test]
+    fn gcc_inputs_cluster_tightly() {
+        // §IV-C: "the five different input sets of 502.gcc_r are clustered
+        // together" — every gcc input is closer to its aggregate than any
+        // other workload in the space is.
+        let all = cpu2017::rate_int();
+        let subset: Vec<Benchmark> = all
+            .into_iter()
+            .filter(|b| ["502.gcc_r", "505.mcf_r"].contains(&b.name()))
+            .collect();
+        let (analysis, choices) = pick(&subset);
+        let gcc = choices.iter().find(|c| c.benchmark == "502.gcc_r").unwrap();
+        let max_input_dist = gcc
+            .distances_to_aggregate
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let mcf_dist = analysis
+            .distance_between("505.mcf_r", "502.gcc_r.aggregate")
+            .unwrap();
+        assert!(max_input_dist < mcf_dist);
+    }
+}

@@ -1,0 +1,65 @@
+//! The HPCA'18 SPEC CPU2017 characterization pipeline.
+//!
+//! This crate composes the substrates — synthetic workloads
+//! ([`horizon_workloads`]), the microarchitecture simulator
+//! ([`horizon_uarch`]), PCA ([`horizon_stats`]) and hierarchical clustering
+//! ([`horizon_cluster`]) — into the paper's methodology:
+//!
+//! 1. [`campaign`] — measure every benchmark on every machine
+//!    (the perf-counter data-collection step of §III),
+//! 2. [`metrics`] — the Table III metric set and feature-matrix assembly,
+//! 3. [`similarity`] — standardize → PCA (Kaiser) → Euclidean distances →
+//!    dendrograms (Figures 2–4, 13),
+//! 4. [`subsetting`] — representative 3-benchmark subsets (Table V),
+//! 5. [`validation`] — SPEC-score subset validation (Figures 5/6, Table VI),
+//! 6. [`input_sets`] — representative input selection (Figures 7/8,
+//!    Table VII),
+//! 7. [`rate_speed`] — rate-vs-speed comparison (§IV-D),
+//! 8. [`classification`] — branch/cache PC scatter plots (Figures 9/10),
+//! 9. [`domains`] — application-domain classification (Table VIII),
+//! 10. [`balance`] — CPU2017-vs-CPU2006, power and emerging-workload
+//!     balance studies (Figures 11–13, §V),
+//! 11. [`sensitivity`] — branch/L1D/D-TLB sensitivity classes (Table IX),
+//! 12. [`cpi_stack`] — top-down CPI stacks (Figure 1),
+//! 13. [`stability`] — leave-one-machine-out robustness of the methodology
+//!     (the reason §III measures on seven machines).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use horizon_core::campaign::Campaign;
+//! use horizon_core::similarity::SimilarityAnalysis;
+//! use horizon_core::subsetting::representative_subset;
+//! use horizon_uarch::MachineConfig;
+//! use horizon_workloads::cpu2017;
+//!
+//! let benchmarks = cpu2017::speed_int();
+//! let result = Campaign::default()
+//!     .measure(&benchmarks, &MachineConfig::table_iv_machines());
+//! let analysis = SimilarityAnalysis::from_campaign(&result)?;
+//! let subset = representative_subset(&analysis, 3)?;
+//! assert_eq!(subset.representatives.len(), 3);
+//! # Ok::<(), horizon_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod balance;
+pub mod campaign;
+pub mod classification;
+pub mod cpi_stack;
+pub mod domains;
+pub mod input_sets;
+pub mod metrics;
+pub mod rate_speed;
+pub mod report;
+pub mod sensitivity;
+pub mod similarity;
+pub mod stability;
+pub mod subsetting;
+pub mod validation;
+
+pub use error::CoreError;

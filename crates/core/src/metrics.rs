@@ -1,0 +1,272 @@
+//! The Table III metric set and feature-matrix assembly.
+//!
+//! §III: "we measure 20 performance-related metrics for each benchmark on
+//! every machine, leading to a total of 140 metrics" — each
+//! (metric, machine) pair is one feature column.
+
+use horizon_stats::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::{CampaignResult, Measurement};
+
+/// One of the paper's program characteristics (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Metric {
+    /// L1 instruction-cache misses per kilo-instruction.
+    L1IMpki,
+    /// L1 data-cache misses per kilo-instruction.
+    L1DMpki,
+    /// Instruction-side L2 misses per kilo-instruction.
+    L2IMpki,
+    /// Data-side L2 misses per kilo-instruction.
+    L2DMpki,
+    /// Last-level-cache misses per kilo-instruction.
+    L3Mpki,
+    /// L1 I-TLB misses per million instructions.
+    ItlbMpmi,
+    /// L1 D-TLB misses per million instructions.
+    DtlbMpmi,
+    /// Last-level TLB misses (page walks) per million instructions.
+    LastLevelTlbMpmi,
+    /// Page walks per million instructions (instruction + data).
+    PageWalksPmi,
+    /// Branch mispredictions per kilo-instruction.
+    BranchMpki,
+    /// Taken branches per kilo-instruction.
+    BranchTakenPki,
+    /// Percentage of kernel-mode instructions.
+    PctKernel,
+    /// Percentage of user-mode instructions.
+    PctUser,
+    /// Percentage of integer ALU instructions.
+    PctInt,
+    /// Percentage of scalar floating-point instructions.
+    PctFp,
+    /// Percentage of loads.
+    PctLoads,
+    /// Percentage of stores.
+    PctStores,
+    /// Percentage of branches.
+    PctBranches,
+    /// Percentage of SIMD instructions.
+    PctSimd,
+    /// Cycles per instruction (the top-line performance metric of Table I).
+    Cpi,
+    /// Core power in watts.
+    CorePower,
+    /// Last-level-cache power in watts.
+    LlcPower,
+    /// DRAM power in watts.
+    MemoryPower,
+}
+
+impl Metric {
+    /// The paper's full Table III metric set: 20 metrics (cache, TLB,
+    /// branch and instruction-mix characteristics, plus CPI). Power metrics
+    /// are separate, used only in the power study (§V-C).
+    pub fn table_iii() -> Vec<Metric> {
+        vec![
+            Metric::L1IMpki,
+            Metric::L1DMpki,
+            Metric::L2IMpki,
+            Metric::L2DMpki,
+            Metric::L3Mpki,
+            Metric::ItlbMpmi,
+            Metric::DtlbMpmi,
+            Metric::LastLevelTlbMpmi,
+            Metric::PageWalksPmi,
+            Metric::BranchMpki,
+            Metric::BranchTakenPki,
+            Metric::PctKernel,
+            Metric::PctUser,
+            Metric::PctInt,
+            Metric::PctFp,
+            Metric::PctLoads,
+            Metric::PctStores,
+            Metric::PctBranches,
+            Metric::PctSimd,
+            Metric::Cpi,
+        ]
+    }
+
+    /// Branch-behavior metrics for the Figure 9 scatter plot.
+    pub fn branch_set() -> Vec<Metric> {
+        vec![
+            Metric::BranchMpki,
+            Metric::BranchTakenPki,
+            Metric::PctBranches,
+        ]
+    }
+
+    /// Data-cache metrics for the Figure 10 scatter plots.
+    pub fn dcache_set() -> Vec<Metric> {
+        vec![Metric::L1DMpki, Metric::L2DMpki, Metric::L3Mpki, Metric::DtlbMpmi]
+    }
+
+    /// Instruction-cache metrics for the Figure 10 scatter plots.
+    pub fn icache_set() -> Vec<Metric> {
+        vec![Metric::L1IMpki, Metric::L2IMpki, Metric::ItlbMpmi]
+    }
+
+    /// Power metrics for the Figure 12 study.
+    pub fn power_set() -> Vec<Metric> {
+        vec![Metric::CorePower, Metric::LlcPower, Metric::MemoryPower]
+    }
+
+    /// Extracts this metric's value from a measurement.
+    pub fn extract(&self, m: &Measurement) -> f64 {
+        let c = &m.counters;
+        match self {
+            Metric::L1IMpki => c.mpki(c.l1i_misses),
+            Metric::L1DMpki => c.mpki(c.l1d_misses),
+            Metric::L2IMpki => c.mpki(c.l2i_misses),
+            Metric::L2DMpki => c.mpki(c.l2d_misses),
+            Metric::L3Mpki => c.mpki(c.l3_misses),
+            Metric::ItlbMpmi => c.mpmi(c.itlb_misses),
+            Metric::DtlbMpmi => c.mpmi(c.dtlb_misses),
+            Metric::LastLevelTlbMpmi => {
+                c.mpmi(c.page_walks_instruction + c.page_walks_data)
+            }
+            Metric::PageWalksPmi => c.mpmi(c.page_walks_data),
+            Metric::BranchMpki => c.branch_mpki(),
+            Metric::BranchTakenPki => c.taken_branch_pki(),
+            Metric::PctKernel => c.fraction(c.kernel_instructions) * 100.0,
+            Metric::PctUser => {
+                (1.0 - c.fraction(c.kernel_instructions)) * 100.0
+            }
+            Metric::PctInt => {
+                let non_int = c.loads + c.stores + c.branches + c.fp_ops + c.simd_ops;
+                (1.0 - c.fraction(non_int)) * 100.0
+            }
+            Metric::PctFp => c.fraction(c.fp_ops) * 100.0,
+            Metric::PctLoads => c.fraction(c.loads) * 100.0,
+            Metric::PctStores => c.fraction(c.stores) * 100.0,
+            Metric::PctBranches => c.fraction(c.branches) * 100.0,
+            Metric::PctSimd => c.fraction(c.simd_ops) * 100.0,
+            Metric::Cpi => c.cpi(),
+            Metric::CorePower => m.power.core_watts,
+            Metric::LlcPower => m.power.llc_watts,
+            Metric::MemoryPower => m.power.dram_watts,
+        }
+    }
+
+    /// Short label used in feature names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::L1IMpki => "L1I_MPKI",
+            Metric::L1DMpki => "L1D_MPKI",
+            Metric::L2IMpki => "L2I_MPKI",
+            Metric::L2DMpki => "L2D_MPKI",
+            Metric::L3Mpki => "L3_MPKI",
+            Metric::ItlbMpmi => "ITLB_MPMI",
+            Metric::DtlbMpmi => "DTLB_MPMI",
+            Metric::LastLevelTlbMpmi => "LLTLB_MPMI",
+            Metric::PageWalksPmi => "WALKS_PMI",
+            Metric::BranchMpki => "BR_MPKI",
+            Metric::BranchTakenPki => "BR_TAKEN_PKI",
+            Metric::PctKernel => "PCT_KERNEL",
+            Metric::PctUser => "PCT_USER",
+            Metric::PctInt => "PCT_INT",
+            Metric::PctFp => "PCT_FP",
+            Metric::PctLoads => "PCT_LOADS",
+            Metric::PctStores => "PCT_STORES",
+            Metric::PctBranches => "PCT_BRANCHES",
+            Metric::PctSimd => "PCT_SIMD",
+            Metric::Cpi => "CPI",
+            Metric::CorePower => "CORE_W",
+            Metric::LlcPower => "LLC_W",
+            Metric::MemoryPower => "DRAM_W",
+        }
+    }
+}
+
+/// Builds the benchmark × (metric, machine) feature matrix of §III, plus
+/// human-readable feature labels (`"L1D_MPKI@Intel Core i7-6700"`).
+pub fn feature_matrix(result: &CampaignResult, metrics: &[Metric]) -> (Matrix, Vec<String>) {
+    let n = result.workloads().len();
+    let machines = result.machines().len();
+    let p = metrics.len() * machines;
+    let mut data = Vec::with_capacity(n * p);
+    for w in 0..n {
+        for metric in metrics {
+            for m in 0..machines {
+                data.push(metric.extract(result.at(w, m)));
+            }
+        }
+    }
+    let labels: Vec<String> = metrics
+        .iter()
+        .flat_map(|metric| {
+            result
+                .machines()
+                .iter()
+                .map(move |m| format!("{}@{}", metric.label(), m))
+        })
+        .collect();
+    let matrix = Matrix::from_vec(n.max(1), p.max(1), data).expect("well-formed grid");
+    (matrix, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use horizon_uarch::MachineConfig;
+    use horizon_workloads::cpu2017;
+
+    #[test]
+    fn table_iii_has_twenty_metrics() {
+        let metrics = Metric::table_iii();
+        assert_eq!(metrics.len(), 20);
+    }
+
+    #[test]
+    fn metric_subsets_are_disjoint_sensible() {
+        assert_eq!(Metric::branch_set().len(), 3);
+        assert_eq!(Metric::power_set().len(), 3);
+        assert!(Metric::dcache_set().contains(&Metric::L1DMpki));
+        assert!(Metric::icache_set().contains(&Metric::L1IMpki));
+    }
+
+    #[test]
+    fn feature_matrix_shape_matches_paper_arithmetic() {
+        let benchmarks = &cpu2017::speed_int()[..2];
+        let machines = MachineConfig::table_iv_machines();
+        let r = Campaign::quick().measure(benchmarks, &machines);
+        let (x, labels) = feature_matrix(&r, &Metric::table_iii());
+        // 20 metrics × 7 machines = 140 features, as §III states.
+        assert_eq!(x.cols(), 140);
+        assert_eq!(labels.len(), 140);
+        assert_eq!(x.rows(), 2);
+        assert!(x.is_finite());
+        assert!(labels[0].contains('@'));
+    }
+
+    #[test]
+    fn percentages_are_consistent() {
+        let benchmarks = &cpu2017::rate_fp()[..1];
+        let r = Campaign::quick().measure(benchmarks, &[MachineConfig::skylake_i7_6700()]);
+        let m = r.at(0, 0);
+        let total = Metric::PctInt.extract(m)
+            + Metric::PctFp.extract(m)
+            + Metric::PctSimd.extract(m)
+            + Metric::PctLoads.extract(m)
+            + Metric::PctStores.extract(m)
+            + Metric::PctBranches.extract(m);
+        assert!((total - 100.0).abs() < 0.1, "{total}");
+        assert!(
+            (Metric::PctKernel.extract(m) + Metric::PctUser.extract(m) - 100.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn power_metrics_positive() {
+        let benchmarks = &cpu2017::rate_int()[..1];
+        let r = Campaign::quick().measure(benchmarks, &[MachineConfig::skylake_i7_6700()]);
+        let m = r.at(0, 0);
+        for metric in Metric::power_set() {
+            assert!(metric.extract(m) > 0.0);
+        }
+    }
+}

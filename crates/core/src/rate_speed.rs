@@ -1,0 +1,147 @@
+//! Rate-vs-speed comparison (§IV-D).
+//!
+//! Most benchmarks exist in both a `5xx_r` (rate) and `6xx_s` (speed)
+//! version. The paper measures all of them in one PC space and reports
+//! which pairs diverge (imagick, bwaves, fotonik3d, ...) and which are
+//! near-identical (nab, wrf, cactuBSSN, perlbench, ...).
+
+use horizon_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::similarity::SimilarityAnalysis;
+use crate::CoreError;
+
+/// Distance between the rate and speed versions of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairDistance {
+    /// Short benchmark stem, e.g. `"imagick"`.
+    pub stem: String,
+    /// Rate-version name (`5xx…_r`).
+    pub rate: String,
+    /// Speed-version name (`6xx…_s`).
+    pub speed: String,
+    /// Euclidean distance between the two in retained-PC space.
+    pub distance: f64,
+}
+
+/// Extracts the benchmark stem from a SPEC name (`"638.imagick_s"` →
+/// `"imagick"`). Returns the input unchanged when it doesn't parse.
+pub fn stem(name: &str) -> &str {
+    let no_prefix = name.split_once('.').map(|(_, rest)| rest).unwrap_or(name);
+    no_prefix
+        .strip_suffix("_r")
+        .or_else(|| no_prefix.strip_suffix("_s"))
+        .unwrap_or(no_prefix)
+}
+
+/// Finds all rate/speed pairs among `benchmarks` and measures each pair's
+/// PC-space distance, sorted by descending distance (most divergent first).
+///
+/// # Errors
+///
+/// Propagates lookup failures for analyses that don't contain the pairs.
+pub fn rate_speed_distances(
+    analysis: &SimilarityAnalysis,
+    benchmarks: &[Benchmark],
+) -> Result<Vec<PairDistance>, CoreError> {
+    let mut pairs = Vec::new();
+    for b in benchmarks {
+        let name = b.name();
+        if !name.ends_with("_r") {
+            continue;
+        }
+        let s = stem(name);
+        if let Some(speed) = benchmarks
+            .iter()
+            .find(|o| o.name().ends_with("_s") && stem(o.name()) == s)
+        {
+            let distance = analysis.distance_between(name, speed.name())?;
+            pairs.push(PairDistance {
+                stem: s.to_string(),
+                rate: name.to_string(),
+                speed: speed.name().to_string(),
+                distance,
+            });
+        }
+    }
+    pairs.sort_by(|a, b| b.distance.partial_cmp(&a.distance).expect("finite"));
+    Ok(pairs)
+}
+
+/// Splits pairs into (divergent, similar) around the median distance —
+/// mirroring the paper's qualitative split in §IV-D.
+pub fn divergent_pairs(pairs: &[PairDistance]) -> (Vec<&PairDistance>, Vec<&PairDistance>) {
+    if pairs.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut distances: Vec<f64> = pairs.iter().map(|p| p.distance).collect();
+    distances.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = distances[distances.len() / 2];
+    pairs.iter().partition(|p| p.distance > median)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use horizon_uarch::MachineConfig;
+    use horizon_workloads::cpu2017;
+
+    #[test]
+    fn stem_parsing() {
+        assert_eq!(stem("638.imagick_s"), "imagick");
+        assert_eq!(stem("538.imagick_r"), "imagick");
+        assert_eq!(stem("pr-web"), "pr-web");
+    }
+
+    fn fp_analysis() -> (SimilarityAnalysis, Vec<Benchmark>) {
+        let mut benchmarks = cpu2017::rate_fp();
+        benchmarks.extend(cpu2017::speed_fp());
+        let r = Campaign::quick().measure(
+            &benchmarks,
+            &[
+                MachineConfig::skylake_i7_6700(),
+                MachineConfig::sparc_t4(),
+            ],
+        );
+        (SimilarityAnalysis::from_campaign(&r).unwrap(), benchmarks)
+    }
+
+    #[test]
+    fn fp_pairs_found_and_sorted() {
+        let (analysis, benchmarks) = fp_analysis();
+        let pairs = rate_speed_distances(&analysis, &benchmarks).unwrap();
+        // 9 FP stems exist in both rate and speed versions.
+        assert_eq!(pairs.len(), 9);
+        for w in pairs.windows(2) {
+            assert!(w[0].distance >= w[1].distance);
+        }
+        // Rate-only benchmarks (namd, parest, povray, blender) have no pair.
+        assert!(!pairs.iter().any(|p| p.stem == "namd"));
+    }
+
+    #[test]
+    fn imagick_or_bwaves_diverge_most_nab_or_wrf_least() {
+        // §IV-D: imagick has the largest rate/speed linkage distance and
+        // bwaves also diverges (memory size); nab/wrf/cactuBSSN are similar.
+        let (analysis, benchmarks) = fp_analysis();
+        let pairs = rate_speed_distances(&analysis, &benchmarks).unwrap();
+        let pos = |s: &str| pairs.iter().position(|p| p.stem == s).unwrap();
+        let divergent = pos("imagick").min(pos("bwaves"));
+        let similar = pos("nab").max(pos("wrf")).max(pos("cactuBSSN"));
+        assert!(
+            divergent < similar,
+            "{:?}",
+            pairs.iter().map(|p| (&p.stem, p.distance)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn divergent_split_partitions() {
+        let (analysis, benchmarks) = fp_analysis();
+        let pairs = rate_speed_distances(&analysis, &benchmarks).unwrap();
+        let (div, sim) = divergent_pairs(&pairs);
+        assert_eq!(div.len() + sim.len(), pairs.len());
+        assert!(!div.is_empty() && !sim.is_empty());
+    }
+}

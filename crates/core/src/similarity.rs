@@ -1,0 +1,312 @@
+//! The similarity methodology of §III: standardize the feature matrix,
+//! extract principal components with the Kaiser criterion, measure
+//! Euclidean distances in PC space, and cluster hierarchically.
+
+use horizon_cluster::{cluster, render_ascii, Dendrogram, Linkage, RenderOptions};
+use horizon_stats::{DistanceMatrix, Matrix, Metric as DistanceMetric, Pca, Retention};
+
+use crate::campaign::CampaignResult;
+use crate::metrics::{feature_matrix, Metric};
+use crate::CoreError;
+
+/// A complete similarity analysis over a set of workloads.
+#[derive(Debug, Clone)]
+pub struct SimilarityAnalysis {
+    names: Vec<String>,
+    feature_labels: Vec<String>,
+    pca: Pca,
+    distances: DistanceMatrix,
+    tree: Dendrogram,
+    linkage: Linkage,
+}
+
+impl SimilarityAnalysis {
+    /// Runs the full §III pipeline on a campaign result using the Table III
+    /// metric set, Kaiser-criterion retention and average linkage (the
+    /// defaults of published SPEC subsetting practice).
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistics/clustering failures (e.g. fewer than two
+    /// workloads).
+    pub fn from_campaign(result: &CampaignResult) -> Result<Self, CoreError> {
+        Self::from_campaign_with(
+            result,
+            &Metric::table_iii(),
+            Retention::Kaiser,
+            Linkage::Average,
+        )
+    }
+
+    /// Like [`SimilarityAnalysis::from_campaign`] with explicit metric set,
+    /// PC retention and linkage — the knobs the paper varies between
+    /// analyses (e.g. Figure 9 uses only branch metrics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates statistics/clustering failures.
+    pub fn from_campaign_with(
+        result: &CampaignResult,
+        metrics: &[Metric],
+        retention: Retention,
+        linkage: Linkage,
+    ) -> Result<Self, CoreError> {
+        let (x, labels) = feature_matrix(result, metrics);
+        let mut analysis =
+            Self::from_features(result.workloads().to_vec(), &x, retention, linkage)?;
+        analysis.feature_labels = labels;
+        Ok(analysis)
+    }
+
+    /// Runs the pipeline on an explicit feature matrix (rows = workloads in
+    /// the order of `names`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `names` does not match the
+    /// matrix rows; otherwise propagates statistics/clustering failures.
+    pub fn from_features(
+        names: Vec<String>,
+        features: &Matrix,
+        retention: Retention,
+        linkage: Linkage,
+    ) -> Result<Self, CoreError> {
+        if names.len() != features.rows() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "{} names for {} feature rows",
+                    names.len(),
+                    features.rows()
+                ),
+            });
+        }
+        let pca = Pca::fit(features, retention)?;
+        let distances =
+            DistanceMatrix::from_observations(pca.scores(), DistanceMetric::Euclidean);
+        let tree = cluster(&distances, linkage)?;
+        let feature_labels = (0..features.cols()).map(|i| format!("f{i}")).collect();
+        Ok(SimilarityAnalysis {
+            names,
+            feature_labels,
+            pca,
+            distances,
+            tree,
+            linkage,
+        })
+    }
+
+    /// Workload names, in row order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The fitted PCA model (retained PCs, eigenvalues, loadings).
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Pairwise Euclidean distances in retained-PC space.
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.distances
+    }
+
+    /// The dendrogram over the workloads.
+    pub fn dendrogram(&self) -> &Dendrogram {
+        &self.tree
+    }
+
+    /// The linkage criterion used.
+    pub fn linkage(&self) -> Linkage {
+        self.linkage
+    }
+
+    /// Index of a workload by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] for unknown names.
+    pub fn index_of(&self, name: &str) -> Result<usize, CoreError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| CoreError::NotFound {
+                kind: "workload",
+                name: name.to_string(),
+            })
+    }
+
+    /// Distance between two workloads by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] for unknown names.
+    pub fn distance_between(&self, a: &str, b: &str) -> Result<f64, CoreError> {
+        Ok(self.distances.get(self.index_of(a)?, self.index_of(b)?))
+    }
+
+    /// The workload with the most distinct behavior: the one whose mean
+    /// distance to all others is largest (how the paper identifies mcf and
+    /// cactuBSSN as outliers).
+    pub fn most_distinct(&self) -> &str {
+        let idx = (0..self.names.len())
+            .max_by(|&a, &b| {
+                self.distances
+                    .mean_distance_from(a)
+                    .partial_cmp(&self.distances.mean_distance_from(b))
+                    .expect("finite distances")
+            })
+            .expect("non-empty analysis");
+        &self.names[idx]
+    }
+
+    /// Scatter coordinates `(names, x, y)` of the workloads on two retained
+    /// PCs (0-based), as in Figures 9–12.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if a PC index is not retained.
+    pub fn pc_scatter(&self, pc_x: usize, pc_y: usize) -> Result<Vec<(String, f64, f64)>, CoreError> {
+        let k = self.pca.components();
+        if pc_x >= k || pc_y >= k {
+            return Err(CoreError::InvalidArgument {
+                reason: format!("PC{}/{} requested but only {k} retained", pc_x + 1, pc_y + 1),
+            });
+        }
+        let scores = self.pca.scores();
+        Ok(self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), scores[(i, pc_x)], scores[(i, pc_y)]))
+            .collect())
+    }
+
+    /// The `k` features with the largest absolute loading on a retained PC
+    /// (most dominant first) — the paper's "PC2 is dominated by branch
+    /// mispredictions per kilo instructions" interpretation (§IV-E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for non-retained PCs.
+    pub fn dominant_features(&self, pc: usize, k: usize) -> Result<Vec<(String, f64)>, CoreError> {
+        if pc >= self.pca.components() {
+            return Err(CoreError::InvalidArgument {
+                reason: format!(
+                    "PC{} not retained (have {})",
+                    pc + 1,
+                    self.pca.components()
+                ),
+            });
+        }
+        let loadings = self.pca.loadings();
+        Ok(self
+            .pca
+            .dominant_features(pc, k)
+            .into_iter()
+            .map(|f| (self.feature_labels[f].clone(), loadings[(f, pc)]))
+            .collect())
+    }
+
+    /// ASCII dendrogram (Figures 2–4 and 13).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rendering failures.
+    pub fn render_dendrogram(&self) -> Result<String, CoreError> {
+        Ok(render_ascii(
+            &self.tree,
+            &self.names,
+            &RenderOptions::default(),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use horizon_uarch::MachineConfig;
+    use horizon_workloads::cpu2017;
+
+    fn analysis() -> SimilarityAnalysis {
+        let benchmarks = cpu2017::speed_int();
+        let machines = vec![
+            MachineConfig::skylake_i7_6700(),
+            MachineConfig::sparc_t4(),
+            MachineConfig::opteron_2435(),
+        ];
+        let r = Campaign::quick().measure(&benchmarks, &machines);
+        SimilarityAnalysis::from_campaign(&r).unwrap()
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_shapes() {
+        let a = analysis();
+        assert_eq!(a.names().len(), 10);
+        assert_eq!(a.distances().len(), 10);
+        assert_eq!(a.dendrogram().len(), 10);
+        assert!(a.pca().components() >= 1);
+        assert_eq!(a.pca().scores().rows(), 10);
+        assert_eq!(a.linkage(), Linkage::Average);
+    }
+
+    #[test]
+    fn kaiser_retains_high_variance(){
+        let a = analysis();
+        // Kaiser-retained PCs cover most variance, like the paper's 91%+.
+        assert!(a.pca().coverage() > 0.7, "{}", a.pca().coverage());
+    }
+
+    #[test]
+    fn identical_benchmark_is_closest_to_itself() {
+        let a = analysis();
+        let d = a.distance_between("605.mcf_s", "605.mcf_s").unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn mcf_is_most_distinct_speed_int() {
+        // §IV-A: "the 605.mcf_s … have the most distinct performance
+        // features among all the INT benchmarks."
+        let a = analysis();
+        assert_eq!(a.most_distinct(), "605.mcf_s");
+    }
+
+    #[test]
+    fn scatter_and_render() {
+        let a = analysis();
+        let pts = a.pc_scatter(0, 1).unwrap();
+        assert_eq!(pts.len(), 10);
+        assert!(a.pc_scatter(99, 0).is_err());
+        let art = a.render_dendrogram().unwrap();
+        assert!(art.contains("605.mcf_s"));
+    }
+
+    #[test]
+    fn dominant_features_carry_metric_labels() {
+        let a = analysis();
+        let top = a.dominant_features(0, 3).unwrap();
+        assert_eq!(top.len(), 3);
+        // Labels come from the metric set: "METRIC@machine".
+        for (label, loading) in &top {
+            assert!(label.contains('@'), "{label}");
+            assert!(loading.is_finite());
+        }
+        // Descending by |loading|.
+        assert!(top[0].1.abs() >= top[1].1.abs());
+        assert!(a.dominant_features(99, 3).is_err());
+    }
+
+    #[test]
+    fn name_mismatch_rejected() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let err = SimilarityAnalysis::from_features(
+            vec!["a".into()],
+            &x,
+            Retention::Kaiser,
+            Linkage::Average,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument { .. }));
+    }
+}

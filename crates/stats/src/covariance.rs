@@ -1,0 +1,156 @@
+//! Covariance and correlation matrices of observation tables.
+
+use crate::{Matrix, StatsError};
+
+/// Sample covariance matrix (denominator `n - 1`) of the columns of `x`.
+///
+/// Rows of `x` are observations (benchmarks); columns are features
+/// (counter-machine pairs).
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `x` has fewer than 2 rows (covariance needs at
+///   least two observations).
+/// * [`StatsError::NonFinite`] if `x` contains NaN/inf.
+///
+/// # Example
+///
+/// ```
+/// use horizon_stats::Matrix;
+/// use horizon_stats::covariance_matrix;
+///
+/// let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 6.0]])?;
+/// let c = covariance_matrix(&x)?;
+/// assert!((c[(0, 1)] - 2.0 * c[(0, 0)]).abs() < 1e-12); // perfectly correlated
+/// # Ok::<(), horizon_stats::StatsError>(())
+/// ```
+pub fn covariance_matrix(x: &Matrix) -> Result<Matrix, StatsError> {
+    if x.rows() < 2 {
+        return Err(StatsError::Empty);
+    }
+    if !x.is_finite() {
+        return Err(StatsError::NonFinite {
+            context: "covariance_matrix input",
+        });
+    }
+    let n = x.rows();
+    let p = x.cols();
+    let means = x.column_means();
+    let mut cov = Matrix::zeros(p, p);
+    for row in x.iter_rows() {
+        for i in 0..p {
+            let di = row[i] - means[i];
+            if di == 0.0 {
+                continue;
+            }
+            for j in i..p {
+                cov[(i, j)] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..p {
+        for j in i..p {
+            let v = cov[(i, j)] / denom;
+            cov[(i, j)] = v;
+            cov[(j, i)] = v;
+        }
+    }
+    Ok(cov)
+}
+
+/// Pearson correlation matrix of the columns of `x`.
+///
+/// Constant columns (zero variance) get correlation 0 with everything and 1
+/// with themselves, matching the convention used by [`crate::ColumnScaler`]
+/// for degenerate counters.
+///
+/// # Errors
+///
+/// Propagates errors from [`covariance_matrix`].
+pub fn correlation_matrix(x: &Matrix) -> Result<Matrix, StatsError> {
+    let cov = covariance_matrix(x)?;
+    let p = cov.rows();
+    let stds: Vec<f64> = (0..p).map(|i| cov[(i, i)].sqrt()).collect();
+    let mut corr = Matrix::zeros(p, p);
+    for i in 0..p {
+        for j in 0..p {
+            corr[(i, j)] = if i == j {
+                1.0
+            } else if stds[i] > 0.0 && stds[j] > 0.0 {
+                cov[(i, j)] / (stds[i] * stds[j])
+            } else {
+                0.0
+            };
+        }
+    }
+    Ok(corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covariance_of_independent_columns_is_diagonal_dominant() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ])
+        .unwrap();
+        let c = covariance_matrix(&x).unwrap();
+        assert!((c[(0, 1)]).abs() < 1e-12);
+        assert!(c[(0, 0)] > 0.0 && c[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn covariance_matches_hand_computation() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = covariance_matrix(&x).unwrap();
+        assert!((c[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((c[(1, 1)] - 4.0).abs() < 1e-12);
+        assert!((c[(0, 1)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_bounds_and_diagonal() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 5.0, 2.0],
+            vec![2.0, 3.0, 2.5],
+            vec![3.0, 4.0, 1.0],
+            vec![4.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let r = correlation_matrix(&x).unwrap();
+        for i in 0..3 {
+            assert_eq!(r[(i, i)], 1.0);
+            for j in 0..3 {
+                assert!(r[(i, j)] <= 1.0 + 1e-12 && r[(i, j)] >= -1.0 - 1e-12);
+                assert_eq!(r[(i, j)], r[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_columns() {
+        let x = Matrix::from_rows(vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]).unwrap();
+        let r = correlation_matrix(&x).unwrap();
+        assert!((r[(0, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_has_zero_correlation() {
+        let x = Matrix::from_rows(vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![3.0, 7.0]]).unwrap();
+        let r = correlation_matrix(&x).unwrap();
+        assert_eq!(r[(0, 1)], 0.0);
+        assert_eq!(r[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn needs_two_observations() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(covariance_matrix(&x), Err(StatsError::Empty)));
+    }
+}

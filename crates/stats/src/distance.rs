@@ -1,0 +1,297 @@
+//! Distance metrics and pairwise distance matrices.
+//!
+//! Benchmark similarity in the paper is "measured using the Euclidean
+//! distance of program characteristics" in PC space (§III). A condensed
+//! symmetric [`DistanceMatrix`] feeds the hierarchical clusterer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Matrix, StatsError};
+
+/// Supported distance metrics between observation vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Straight-line distance (the paper's choice).
+    #[default]
+    Euclidean,
+    /// Sum of absolute coordinate differences.
+    Manhattan,
+    /// Maximum absolute coordinate difference.
+    Chebyshev,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "vectors must have equal length");
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Manhattan => manhattan(a, b),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Manhattan (L1) distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// A symmetric pairwise distance matrix stored in condensed
+/// (upper-triangle) form.
+///
+/// # Example
+///
+/// ```
+/// use horizon_stats::{DistanceMatrix, Matrix, Metric};
+///
+/// let pts = Matrix::from_rows(vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]])?;
+/// let d = DistanceMatrix::from_observations(&pts, Metric::Euclidean);
+/// assert_eq!(d.get(0, 1), 5.0);
+/// assert_eq!(d.get(1, 0), 5.0);
+/// assert_eq!(d.get(2, 2), 0.0);
+/// # Ok::<(), horizon_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    n: usize,
+    /// Upper triangle, row-major: d(0,1), d(0,2), …, d(0,n-1), d(1,2), …
+    condensed: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds the pairwise distance matrix of the rows of `obs`.
+    pub fn from_observations(obs: &Matrix, metric: Metric) -> Self {
+        let n = obs.rows();
+        let mut condensed = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in i + 1..n {
+                condensed.push(metric.distance(obs.row(i), obs.row(j)));
+            }
+        }
+        DistanceMatrix { n, condensed }
+    }
+
+    /// Builds a distance matrix from an explicit condensed upper triangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the buffer length is not
+    /// `n·(n−1)/2`, and [`StatsError::NonFinite`] if any entry is NaN/inf or
+    /// negative.
+    pub fn from_condensed(n: usize, condensed: Vec<f64>) -> Result<Self, StatsError> {
+        let expect = n * n.saturating_sub(1) / 2;
+        if condensed.len() != expect {
+            return Err(StatsError::DimensionMismatch {
+                op: "DistanceMatrix::from_condensed",
+                left: (n, expect),
+                right: (condensed.len(), 1),
+            });
+        }
+        if condensed.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(StatsError::NonFinite {
+                context: "DistanceMatrix::from_condensed entries",
+            });
+        }
+        Ok(DistanceMatrix { n, condensed })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the matrix covers zero observations.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between observations `i` and `j` (symmetric; 0 on the
+    /// diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row `a` in the condensed triangle.
+        let offset = a * self.n - a * (a + 1) / 2;
+        self.condensed[offset + (b - a - 1)]
+    }
+
+    /// The pair of observations with the smallest distance.
+    ///
+    /// Returns `None` when there are fewer than two observations.
+    pub fn closest_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                let d = self.get(i, j);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean distance from observation `i` to every other observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or there is only one observation.
+    pub fn mean_distance_from(&self, i: usize) -> f64 {
+        assert!(self.n > 1, "need at least two observations");
+        let sum: f64 = (0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)).sum();
+        sum / (self.n - 1) as f64
+    }
+
+    /// Index of the observation nearest to `i` (excluding `i` itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or there is only one observation.
+    pub fn nearest_neighbor(&self, i: usize) -> (usize, f64) {
+        assert!(self.n > 1, "need at least two observations");
+        (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| (j, self.get(i, j)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .expect("nonempty")
+    }
+
+    /// Borrows the condensed upper triangle.
+    pub fn condensed(&self) -> &[f64] {
+        &self.condensed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![6.0, 8.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn euclidean_known_values() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_known_values() {
+        assert_eq!(manhattan(&[0.0, 0.0], &[3.0, 4.0]), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_known_values() {
+        assert_eq!(Metric::Chebyshev.distance(&[0.0, 0.0], &[3.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        euclidean(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matrix_symmetry_and_diagonal() {
+        let d = DistanceMatrix::from_observations(&pts(), Metric::Euclidean);
+        for i in 0..4 {
+            assert_eq!(d.get(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(d.get(i, j), d.get(j, i));
+            }
+        }
+        assert_eq!(d.get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let d = DistanceMatrix::from_observations(&pts(), Metric::Euclidean);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closest_pair_finds_minimum() {
+        let d = DistanceMatrix::from_observations(&pts(), Metric::Euclidean);
+        let (i, j, dist) = d.closest_pair().unwrap();
+        assert_eq!((i, j), (0, 3));
+        assert_eq!(dist, 1.0);
+    }
+
+    #[test]
+    fn closest_pair_none_for_singleton() {
+        let single = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        let d = DistanceMatrix::from_observations(&single, Metric::Euclidean);
+        assert!(d.closest_pair().is_none());
+    }
+
+    #[test]
+    fn nearest_neighbor_and_mean_distance() {
+        let d = DistanceMatrix::from_observations(&pts(), Metric::Euclidean);
+        assert_eq!(d.nearest_neighbor(0), (3, 1.0));
+        let m = d.mean_distance_from(0);
+        assert!((m - (5.0 + 10.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condensed_round_trip() {
+        let d = DistanceMatrix::from_observations(&pts(), Metric::Euclidean);
+        let d2 = DistanceMatrix::from_condensed(4, d.condensed().to_vec()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn condensed_rejects_bad_len_and_values() {
+        assert!(DistanceMatrix::from_condensed(3, vec![1.0]).is_err());
+        assert!(DistanceMatrix::from_condensed(2, vec![-1.0]).is_err());
+        assert!(DistanceMatrix::from_condensed(2, vec![f64::NAN]).is_err());
+    }
+}

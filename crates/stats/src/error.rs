@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A matrix was constructed from rows of unequal length.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Length of the offending row.
+        found: usize,
+    },
+    /// An operation required a non-empty matrix or slice.
+    Empty,
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Left-hand dimensions `(rows, cols)`.
+        left: (usize, usize),
+        /// Right-hand dimensions `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// An operation required a square matrix.
+    NotSquare {
+        /// Actual dimensions.
+        rows: usize,
+        /// Actual dimensions.
+        cols: usize,
+    },
+    /// The Jacobi eigensolver did not converge within its sweep budget.
+    NoConvergence {
+        /// Number of sweeps performed.
+        sweeps: usize,
+        /// Remaining off-diagonal Frobenius norm.
+        off_diagonal: f64,
+    },
+    /// Input contained a NaN or infinite value.
+    NonFinite {
+        /// Description of where the value was found.
+        context: &'static str,
+    },
+    /// A geometric mean was requested over non-positive values.
+    NonPositive {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::RaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {found} columns, expected {expected}"
+            ),
+            StatsError::Empty => write!(f, "operation requires non-empty input"),
+            StatsError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            StatsError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            StatsError::NoConvergence {
+                sweeps,
+                off_diagonal,
+            } => write!(
+                f,
+                "jacobi eigensolver failed to converge after {sweeps} sweeps \
+                 (off-diagonal norm {off_diagonal:e})"
+            ),
+            StatsError::NonFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+            StatsError::NonPositive { value } => {
+                write!(f, "geometric mean requires positive values, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = StatsError::RaggedRows {
+            expected: 3,
+            row: 2,
+            found: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("row 2"));
+        assert!(msg.contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn convergence_error_mentions_sweeps() {
+        let err = StatsError::NoConvergence {
+            sweeps: 50,
+            off_diagonal: 1e-3,
+        };
+        assert!(err.to_string().contains("50 sweeps"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Statistical foundations for workload-similarity analysis.
+//!
+//! The HPCA'18 SPEC CPU2017 characterization study reduces a
+//! benchmark × (metric, machine) feature table with principal component
+//! analysis and then clusters benchmarks in the reduced space. This crate
+//! provides the numerical substrate for that pipeline, implemented from
+//! scratch (no BLAS/LAPACK):
+//!
+//! * [`Matrix`] — a small dense row-major matrix type,
+//! * [`standardize`] — per-column z-score scaling,
+//! * [`covariance_matrix`] / [`correlation_matrix`],
+//! * [`jacobi_eigen`] — a cyclic Jacobi eigensolver for symmetric matrices,
+//! * [`Pca`] — PCA with the Kaiser criterion and variance-coverage retention,
+//! * [`distance`] — Euclidean & friends, pairwise distance matrices,
+//! * [`summary`] — means, geometric means, ranges, percentiles,
+//! * [`rank`] — rankings with ties, Spearman correlation, rank spread.
+//!
+//! # Example
+//!
+//! ```
+//! use horizon_stats::{Matrix, Pca, Retention};
+//!
+//! // Four observations of three (correlated) features.
+//! let x = Matrix::from_rows(vec![
+//!     vec![1.0, 2.0, 0.5],
+//!     vec![2.0, 4.1, 0.4],
+//!     vec![3.0, 5.9, 0.6],
+//!     vec![4.0, 8.2, 0.5],
+//! ])?;
+//! let pca = Pca::fit(&x, Retention::Kaiser)?;
+//! assert!(pca.components() >= 1);
+//! let scores = pca.scores();
+//! assert_eq!(scores.rows(), 4);
+//! # Ok::<(), horizon_stats::StatsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod matrix;
+
+pub mod covariance;
+pub mod distance;
+pub mod eigen;
+pub mod pca;
+pub mod rank;
+pub mod scale;
+pub mod summary;
+
+pub use error::StatsError;
+pub use matrix::Matrix;
+
+pub use covariance::{correlation_matrix, covariance_matrix};
+pub use distance::{euclidean, manhattan, DistanceMatrix, Metric};
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use pca::{Pca, PcaBasis, Retention};
+pub use rank::{rank_spread, ranks, spearman};
+pub use scale::{standardize, ColumnScaler};
+pub use summary::{geometric_mean, mean, percentile, population_std, sample_std, Range};

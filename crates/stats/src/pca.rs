@@ -1,0 +1,377 @@
+//! Principal Component Analysis with Kaiser-criterion retention.
+//!
+//! The paper's methodology (§III): standardize every (counter, machine)
+//! feature, compute principal components, and keep only the components with
+//! eigenvalue ≥ 1 (the Kaiser criterion). Benchmarks are then compared by
+//! Euclidean distance between their retained PC scores.
+
+use serde::{Deserialize, Serialize};
+
+use crate::covariance::{correlation_matrix, covariance_matrix};
+use crate::eigen::jacobi_eigen;
+use crate::scale::ColumnScaler;
+use crate::{Matrix, StatsError};
+
+/// Which second-moment matrix PCA diagonalizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PcaBasis {
+    /// Correlation matrix: every feature standardized first (the paper's
+    /// setting, mandatory for mixed-unit counters).
+    #[default]
+    Correlation,
+    /// Covariance matrix: raw feature scales retained.
+    Covariance,
+}
+
+/// How many principal components to retain after fitting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum Retention {
+    /// Keep components with eigenvalue ≥ 1 (the paper's default).
+    #[default]
+    Kaiser,
+    /// Keep the smallest number of components whose cumulative explained
+    /// variance reaches the given fraction (e.g. `0.9`).
+    VarianceCoverage(f64),
+    /// Keep exactly this many components (clamped to the available count).
+    Fixed(usize),
+    /// Keep every component.
+    All,
+}
+
+/// A fitted PCA model.
+///
+/// PCA is performed on the *correlation* matrix — i.e. features are z-scored
+/// first — because the features (MPKI, percentages, watts) live on wildly
+/// different scales. See DESIGN.md §5.2 for the ablation against
+/// covariance-based PCA.
+///
+/// # Example
+///
+/// ```
+/// use horizon_stats::{Matrix, Pca, Retention};
+///
+/// let x = Matrix::from_rows(vec![
+///     vec![0.0, 0.1, 10.0],
+///     vec![1.0, 1.1, 20.0],
+///     vec![2.0, 1.9, 30.0],
+///     vec![3.0, 3.2, 40.0],
+/// ])?;
+/// let pca = Pca::fit(&x, Retention::VarianceCoverage(0.95))?;
+/// assert!(pca.explained_variance_ratio()[0] > 0.9); // one dominant axis
+/// # Ok::<(), horizon_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    scaler: ColumnScaler,
+    /// All eigenvalues, descending.
+    eigenvalues: Vec<f64>,
+    /// Loadings for retained components: `features × components`.
+    loadings: Matrix,
+    /// Scores of the training observations: `observations × components`.
+    scores: Matrix,
+    retained: usize,
+}
+
+impl Pca {
+    /// Fits a PCA model on the observation matrix `x`
+    /// (rows = observations, columns = features).
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Empty`] if `x` has fewer than 2 rows.
+    /// * [`StatsError::NonFinite`] on NaN/inf input.
+    /// * Propagates eigensolver failures.
+    pub fn fit(x: &Matrix, retention: Retention) -> Result<Self, StatsError> {
+        Self::fit_with(x, retention, PcaBasis::Correlation)
+    }
+
+    /// Fits on an explicit basis: correlation (z-scored features, the
+    /// default) or covariance (raw scales — DESIGN.md's §5.2 ablation shows
+    /// how large-magnitude counters would then dominate the components).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pca::fit`].
+    pub fn fit_with(
+        x: &Matrix,
+        retention: Retention,
+        basis: PcaBasis,
+    ) -> Result<Self, StatsError> {
+        if x.rows() < 2 {
+            return Err(StatsError::Empty);
+        }
+        let scaler = match basis {
+            PcaBasis::Correlation => ColumnScaler::fit(x)?,
+            // Covariance PCA centers but does not rescale.
+            PcaBasis::Covariance => ColumnScaler::fit_center_only(x)?,
+        };
+        let basis_matrix = match basis {
+            PcaBasis::Correlation => correlation_matrix(x)?,
+            PcaBasis::Covariance => covariance_matrix(x)?,
+        };
+        let eig = jacobi_eigen(&basis_matrix)?;
+
+        // Numerical noise can make tiny eigenvalues slightly negative.
+        let eigenvalues: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
+
+        let retained = match retention {
+            Retention::Kaiser => {
+                let k = eigenvalues.iter().filter(|&&v| v >= 1.0).count();
+                k.max(1)
+            }
+            Retention::VarianceCoverage(frac) => {
+                let frac = frac.clamp(0.0, 1.0);
+                let total: f64 = eigenvalues.iter().sum();
+                let mut acc = 0.0;
+                let mut k = 0;
+                for &v in &eigenvalues {
+                    acc += v;
+                    k += 1;
+                    if total > 0.0 && acc / total >= frac {
+                        break;
+                    }
+                }
+                k.max(1)
+            }
+            Retention::Fixed(k) => k.clamp(1, eigenvalues.len()),
+            Retention::All => eigenvalues.len(),
+        };
+
+        let keep: Vec<usize> = (0..retained).collect();
+        let loadings = eig.vectors.select_cols(&keep);
+        let z = scaler.transform(x)?;
+        let scores = z.matmul(&loadings)?;
+
+        Ok(Pca {
+            scaler,
+            eigenvalues,
+            loadings,
+            scores,
+            retained,
+        })
+    }
+
+    /// Number of retained components.
+    pub fn components(&self) -> usize {
+        self.retained
+    }
+
+    /// All eigenvalues of the correlation matrix, descending
+    /// (including non-retained components).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.eigenvalues.iter().sum();
+        self.eigenvalues[..self.retained]
+            .iter()
+            .map(|&v| if total > 0.0 { v / total } else { 0.0 })
+            .collect()
+    }
+
+    /// Cumulative variance fraction covered by the retained components.
+    pub fn coverage(&self) -> f64 {
+        self.explained_variance_ratio().iter().sum()
+    }
+
+    /// PC scores of the training observations (`observations × components`).
+    pub fn scores(&self) -> &Matrix {
+        &self.scores
+    }
+
+    /// Loading matrix (`features × components`). Column `j` holds the feature
+    /// weights of PC `j+1`.
+    pub fn loadings(&self) -> &Matrix {
+        &self.loadings
+    }
+
+    /// Indices of the `k` features with the largest absolute loading on
+    /// component `pc` (0-based), most dominant first.
+    ///
+    /// This answers questions like "PC2 is dominated by branch MPKI"
+    /// (paper §IV-E).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc >= self.components()`.
+    pub fn dominant_features(&self, pc: usize, k: usize) -> Vec<usize> {
+        assert!(pc < self.retained, "component {pc} not retained");
+        let col = self.loadings.col(pc);
+        let mut idx: Vec<usize> = (0..col.len()).collect();
+        idx.sort_by(|&a, &b| {
+            col[b]
+                .abs()
+                .partial_cmp(&col[a].abs())
+                .expect("finite loadings")
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Projects new observations into the retained PC space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the feature count differs
+    /// from the training data.
+    pub fn project(&self, x: &Matrix) -> Result<Matrix, StatsError> {
+        let z = self.scaler.transform(x)?;
+        z.matmul(&self.loadings)
+    }
+
+    /// Projects a single observation row into the retained PC space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on width mismatch.
+    pub fn project_row(&self, row: &[f64]) -> Result<Vec<f64>, StatsError> {
+        let z = self.scaler.transform_row(row)?;
+        let mut out = vec![0.0; self.retained];
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = z
+                .iter()
+                .enumerate()
+                .map(|(f, &zv)| zv * self.loadings[(f, j)])
+                .sum();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Observations with one dominant latent direction plus noise.
+    fn correlated_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..12 {
+            let t = i as f64;
+            // Feature 3 is pure noise-free constant slope in another axis.
+            rows.push(vec![
+                t,
+                2.0 * t + 0.01 * ((i * 7 % 5) as f64),
+                -t + 0.02 * ((i * 3 % 7) as f64),
+                (i % 2) as f64,
+            ]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn kaiser_retains_dominant_components() {
+        let pca = Pca::fit(&correlated_data(), Retention::Kaiser).unwrap();
+        // Three perfectly correlated features collapse into one PC; the
+        // parity feature forms a second axis.
+        assert!(pca.components() <= 3);
+        assert!(pca.components() >= 1);
+        assert!(pca.coverage() > 0.7);
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_feature_count() {
+        // PCA on a correlation matrix: trace = p.
+        let pca = Pca::fit(&correlated_data(), Retention::All).unwrap();
+        let sum: f64 = pca.eigenvalues().iter().sum();
+        assert!((sum - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn variance_coverage_reaches_requested_fraction() {
+        let pca = Pca::fit(&correlated_data(), Retention::VarianceCoverage(0.99)).unwrap();
+        assert!(pca.coverage() >= 0.99 - 1e-12);
+    }
+
+    #[test]
+    fn fixed_retention_clamps() {
+        let pca = Pca::fit(&correlated_data(), Retention::Fixed(100)).unwrap();
+        assert_eq!(pca.components(), 4);
+        let pca1 = Pca::fit(&correlated_data(), Retention::Fixed(0)).unwrap();
+        assert_eq!(pca1.components(), 1);
+    }
+
+    #[test]
+    fn scores_shape_and_projection_consistency() {
+        let x = correlated_data();
+        let pca = Pca::fit(&x, Retention::Kaiser).unwrap();
+        assert_eq!(pca.scores().rows(), x.rows());
+        assert_eq!(pca.scores().cols(), pca.components());
+        // Projecting the training data reproduces the stored scores.
+        let proj = pca.project(&x).unwrap();
+        for r in 0..x.rows() {
+            for c in 0..pca.components() {
+                assert!((proj[(r, c)] - pca.scores()[(r, c)]).abs() < 1e-10);
+            }
+        }
+        // Row projection agrees with matrix projection.
+        let pr = pca.project_row(x.row(5)).unwrap();
+        for c in 0..pca.components() {
+            assert!((pr[c] - proj[(5, c)]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn scores_are_centered() {
+        let pca = Pca::fit(&correlated_data(), Retention::All).unwrap();
+        for c in 0..pca.components() {
+            let col = pca.scores().col(c);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            assert!(mean.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dominant_features_identifies_loaded_feature() {
+        // Feature 3 (parity) is uncorrelated with the slope features, so it
+        // must dominate some retained component in an all-components fit.
+        let pca = Pca::fit(&correlated_data(), Retention::All).unwrap();
+        let found = (0..pca.components()).any(|pc| pca.dominant_features(pc, 1)[0] == 3);
+        assert!(found);
+    }
+
+    #[test]
+    fn covariance_basis_weights_large_scale_features() {
+        // Feature 1 has 100x the scale of feature 0: covariance PCA's first
+        // component aligns with it; correlation PCA treats them equally.
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            let t = i as f64;
+            rows.push(vec![t * 0.01 + ((i % 3) as f64) * 0.001, -t * 100.0]);
+        }
+        let x = Matrix::from_rows(rows).unwrap();
+        let cov = Pca::fit_with(&x, Retention::Fixed(1), PcaBasis::Covariance).unwrap();
+        let top = cov.dominant_features(0, 1)[0];
+        assert_eq!(top, 1, "covariance PC1 should follow the big feature");
+        // First covariance eigenvalue carries essentially all variance.
+        assert!(cov.explained_variance_ratio()[0] > 0.999);
+    }
+
+    #[test]
+    fn rejects_single_observation() {
+        let x = Matrix::from_rows(vec![vec![1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            Pca::fit(&x, Retention::Kaiser),
+            Err(StatsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn handles_constant_features() {
+        let x = Matrix::from_rows(vec![
+            vec![1.0, 5.0],
+            vec![2.0, 5.0],
+            vec![3.0, 5.0],
+        ])
+        .unwrap();
+        let pca = Pca::fit(&x, Retention::Kaiser).unwrap();
+        assert!(pca.scores().is_finite());
+    }
+
+    #[test]
+    fn projection_rejects_width_mismatch() {
+        let pca = Pca::fit(&correlated_data(), Retention::Kaiser).unwrap();
+        assert!(pca.project_row(&[1.0, 2.0]).is_err());
+    }
+}

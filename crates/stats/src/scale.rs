@@ -1,0 +1,213 @@
+//! Column standardization (z-score scaling).
+//!
+//! PCA on heterogeneous hardware counters (MPKI in units of misses, power in
+//! watts, mix in percent) is meaningless without putting every feature on a
+//! common scale. The paper standardizes each (metric, machine) column to zero
+//! mean and unit variance before extracting principal components.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Matrix, StatsError};
+
+/// Per-column scaling parameters learned from a training matrix.
+///
+/// Keeping the scaler separate from the scaled data lets new observations
+/// (e.g. an input-set variant, or an aggregated pseudo-benchmark) be projected
+/// into the same standardized space later.
+///
+/// # Example
+///
+/// ```
+/// use horizon_stats::{ColumnScaler, Matrix};
+///
+/// let x = Matrix::from_rows(vec![vec![1.0, 10.0], vec![3.0, 30.0]])?;
+/// let scaler = ColumnScaler::fit(&x)?;
+/// let z = scaler.transform(&x)?;
+/// assert!((z[(0, 0)] + z[(1, 0)]).abs() < 1e-12); // zero mean
+/// # Ok::<(), horizon_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl ColumnScaler {
+    /// Learns per-column mean and sample standard deviation from `x`.
+    ///
+    /// Constant columns (std = 0) are recorded with std 1 so that
+    /// transformation maps them to 0 rather than NaN; this mirrors standard
+    /// practice when a counter is identical on every benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] if `x` contains NaN/inf.
+    pub fn fit(x: &Matrix) -> Result<Self, StatsError> {
+        if !x.is_finite() {
+            return Err(StatsError::NonFinite {
+                context: "ColumnScaler::fit input",
+            });
+        }
+        let means = x.column_means();
+        let stds = x
+            .column_stds()
+            .into_iter()
+            .map(|s| if s > 0.0 { s } else { 1.0 })
+            .collect();
+        Ok(ColumnScaler { means, stds })
+    }
+
+    /// Learns per-column means only: transformation centers the data
+    /// without rescaling (the covariance-PCA setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NonFinite`] if `x` contains NaN/inf.
+    pub fn fit_center_only(x: &Matrix) -> Result<Self, StatsError> {
+        if !x.is_finite() {
+            return Err(StatsError::NonFinite {
+                context: "ColumnScaler::fit_center_only input",
+            });
+        }
+        Ok(ColumnScaler {
+            means: x.column_means(),
+            stds: vec![1.0; x.cols()],
+        })
+    }
+
+    /// Number of columns this scaler was fitted on.
+    pub fn width(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Applies the learned scaling: `z = (x - mean) / std` per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if `x` has a different
+    /// column count than the training data.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, StatsError> {
+        if x.cols() != self.width() {
+            return Err(StatsError::DimensionMismatch {
+                op: "ColumnScaler::transform",
+                left: (x.rows(), x.cols()),
+                right: (1, self.width()),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, (m, s)) in row.iter_mut().zip(self.means.iter().zip(&self.stds)) {
+                *v = (*v - m) / s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the scaling to a single observation vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] on width mismatch.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if row.len() != self.width() {
+            return Err(StatsError::DimensionMismatch {
+                op: "ColumnScaler::transform_row",
+                left: (1, row.len()),
+                right: (1, self.width()),
+            });
+        }
+        Ok(row
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect())
+    }
+
+    /// Column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Column standard deviations learned at fit time (constant columns → 1).
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Convenience wrapper: fit a [`ColumnScaler`] on `x` and transform `x`.
+///
+/// # Errors
+///
+/// Propagates errors from [`ColumnScaler::fit`].
+pub fn standardize(x: &Matrix) -> Result<Matrix, StatsError> {
+    ColumnScaler::fit(x)?.transform(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![1.0, 100.0, 5.0],
+            vec![2.0, 200.0, 5.0],
+            vec![3.0, 300.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn standardized_columns_have_zero_mean_unit_std() {
+        let z = standardize(&sample()).unwrap();
+        let means = z.column_means();
+        assert!(means[0].abs() < 1e-12 && means[1].abs() < 1e-12);
+        let stds = z.column_stds();
+        assert!((stds[0] - 1.0).abs() < 1e-12);
+        assert!((stds[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let z = standardize(&sample()).unwrap();
+        for r in 0..3 {
+            assert_eq!(z[(r, 2)], 0.0);
+        }
+    }
+
+    #[test]
+    fn transform_row_matches_matrix_transform() {
+        let x = sample();
+        let scaler = ColumnScaler::fit(&x).unwrap();
+        let z = scaler.transform(&x).unwrap();
+        let zr = scaler.transform_row(x.row(1)).unwrap();
+        assert_eq!(zr.as_slice(), z.row(1));
+    }
+
+    #[test]
+    fn center_only_keeps_scale() {
+        let x = sample();
+        let scaler = ColumnScaler::fit_center_only(&x).unwrap();
+        let z = scaler.transform(&x).unwrap();
+        // Zero mean but original spread.
+        assert!(z.column_means()[1].abs() < 1e-12);
+        assert!((z.column_stds()[1] - x.column_stds()[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let x = Matrix::from_rows(vec![vec![f64::NAN]]).unwrap();
+        assert!(matches!(
+            ColumnScaler::fit(&x),
+            Err(StatsError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let scaler = ColumnScaler::fit(&sample()).unwrap();
+        assert!(scaler.transform_row(&[1.0]).is_err());
+        let narrow = Matrix::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(scaler.transform(&narrow).is_err());
+    }
+}

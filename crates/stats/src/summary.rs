@@ -1,0 +1,243 @@
+//! Scalar summary statistics: means, geometric means, ranges, percentiles.
+//!
+//! SPEC scores are geometric means of per-benchmark speedups; Table II of the
+//! paper reports min–max ranges of counter metrics. Both live here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn mean(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Computed in log space for numerical robustness: SPEC-style scores multiply
+/// dozens of ratios and would overflow/underflow in linear space.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] for an empty slice.
+/// * [`StatsError::NonPositive`] if any value is ≤ 0 (logarithm undefined).
+/// * [`StatsError::NonFinite`] if any value is NaN/inf.
+pub fn geometric_mean(values: &[f64]) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if !v.is_finite() {
+            return Err(StatsError::NonFinite {
+                context: "geometric_mean input",
+            });
+        }
+        if v <= 0.0 {
+            return Err(StatsError::NonPositive { value: v });
+        }
+        acc += v.ln();
+    }
+    Ok((acc / values.len() as f64).exp())
+}
+
+/// Sample standard deviation (denominator `n − 1`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for slices with fewer than two elements.
+pub fn sample_std(values: &[f64]) -> Result<f64, StatsError> {
+    if values.len() < 2 {
+        return Err(StatsError::Empty);
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok((ss / (values.len() - 1) as f64).sqrt())
+}
+
+/// Population standard deviation (denominator `n`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice.
+pub fn population_std(values: &[f64]) -> Result<f64, StatsError> {
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Ok((ss / values.len() as f64).sqrt())
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty slice and
+/// [`StatsError::NonFinite`] for a `p` outside `[0, 100]` or NaN input.
+pub fn percentile(values: &[f64], p: f64) -> Result<f64, StatsError> {
+    if values.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::NonFinite {
+            context: "percentile fraction",
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFinite {
+            context: "percentile input",
+        });
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = rank - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// A `[min, max]` range of a metric, as reported per sub-suite in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Range {
+    /// Computes the range of a non-empty slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for an empty slice and
+    /// [`StatsError::NonFinite`] if any element is NaN/inf.
+    pub fn of(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                return Err(StatsError::NonFinite {
+                    context: "Range::of input",
+                });
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Ok(Range { min, max })
+    }
+
+    /// Width of the range (`max − min`).
+    pub fn span(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// True if `v` lies within the closed interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.min && v <= self.max
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} - {:.2}", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geometric_mean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(matches!(
+            geometric_mean(&[1.0, 0.0]),
+            Err(StatsError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            geometric_mean(&[1.0, -2.0]),
+            Err(StatsError::NonPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn geometric_mean_le_arithmetic_mean() {
+        let vals = [1.0, 2.0, 3.0, 4.0, 9.5];
+        assert!(geometric_mean(&vals).unwrap() <= mean(&vals).unwrap());
+    }
+
+    #[test]
+    fn geometric_mean_large_values_no_overflow() {
+        let vals = vec![1e200, 1e200, 1e200];
+        let g = geometric_mean(&vals).unwrap();
+        assert!((g - 1e200).abs() / 1e200 < 1e-10);
+    }
+
+    #[test]
+    fn stds() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_std(&vals).unwrap() - 2.0).abs() < 1e-12);
+        assert!(sample_std(&vals).unwrap() > population_std(&vals).unwrap());
+        assert!(sample_std(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&vals, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&vals, 100.0).unwrap(), 4.0);
+        assert_eq!(percentile(&vals, 50.0).unwrap(), 2.5);
+        assert!(percentile(&vals, 101.0).is_err());
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let vals = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&vals, 50.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn range_of_values() {
+        let r = Range::of(&[3.0, -1.0, 2.0]).unwrap();
+        assert_eq!(r.min, -1.0);
+        assert_eq!(r.max, 3.0);
+        assert_eq!(r.span(), 4.0);
+        assert!(r.contains(0.0));
+        assert!(!r.contains(4.0));
+        assert!(Range::of(&[]).is_err());
+        assert!(Range::of(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn range_display() {
+        let r = Range::of(&[0.0, 56.0]).unwrap();
+        assert_eq!(r.to_string(), "0.00 - 56.00");
+    }
+}

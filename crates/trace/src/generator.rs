@@ -1,0 +1,742 @@
+//! Expansion of a [`WorkloadProfile`] into a deterministic instruction
+//! stream.
+//!
+//! Control flow is modeled as a *block automaton*: the hot code region is
+//! tiled with basic blocks, each ending in its own static branch; a taken
+//! branch jumps to a fixed (randomly chosen at construction) target block,
+//! a not-taken branch falls through to the next sequential block. This makes
+//! global branch history informative — history-based predictors (gshare,
+//! TAGE) genuinely outperform bimodal tables, as on real code — while the
+//! block tiling pins the instruction-cache footprint to the profile's hot
+//! region size.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instruction::{Instruction, Kind, INSTRUCTION_BYTES};
+use crate::profile::{AccessPattern, WorkloadProfile};
+
+/// Base virtual address of user code.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Base virtual address of kernel code (separate footprint → extra I-side
+/// pressure when the kernel fraction is high, as in database workloads).
+const KERNEL_CODE_BASE: u64 = 0xFFFF_8000_0000_0000;
+/// Size of the synthetic kernel's hot code path.
+const KERNEL_CODE_BYTES: u64 = 48 << 10;
+/// Base virtual address of the data heap.
+const DATA_BASE: u64 = 0x1000_0000_0000;
+/// Period of the repeating outcome pattern at "regular" branch sites.
+const PATTERN_PERIOD: u32 = 16;
+
+/// How a static branch site produces outcomes.
+///
+/// Real branch predictability is dominated by *bias*: most branches go one
+/// way nearly always. The profile's `regularity` is the fraction of such
+/// easy sites; the remainder are hard, split between history-learnable
+/// rotations (pattern) and bias-weighted coin flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SiteClass {
+    /// Strongly biased (≈98% one direction): every predictor gets these.
+    Easy,
+    /// Repeating taken/not-taken rotation: history predictors learn these,
+    /// bimodal tables cannot.
+    Pattern,
+    /// Bias-weighted coin flip: nobody does better than the bias.
+    Coin,
+}
+
+/// Parameters of one static branch site (outcome state lives per block).
+#[derive(Debug, Clone, Copy)]
+struct BranchSite {
+    class: SiteClass,
+    /// Probability this branch is taken (Easy: near 0/1; hard: near the
+    /// profile's taken fraction).
+    bias: f64,
+}
+
+/// One basic block of the hot-code automaton.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    /// Start address; instructions run sequentially from here.
+    pc: u64,
+    /// Non-branch instructions before the terminating branch.
+    len: u32,
+    /// Index into the site table for the terminating branch.
+    site: usize,
+    /// Successor block if the branch is taken (fall-through is `self + 1`).
+    next_taken: usize,
+    /// Per-block rotation phase for [`SiteClass::Pattern`] sites. Keeping
+    /// phase per block makes each branch PC's outcome sequence an exact
+    /// rotation, so history-based predictors can learn it.
+    phase: u32,
+}
+
+/// Per-region address-generation state.
+#[derive(Debug, Clone)]
+struct RegionState {
+    base: u64,
+    bytes: u64,
+    pattern: AccessPattern,
+    cursor: u64,
+    /// Cumulative weight threshold for region selection.
+    cum_weight: f64,
+}
+
+/// Where the generator currently executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Inside hot-automaton block `current`.
+    Hot,
+    /// Inside a transient cold-code or kernel diversion.
+    Diversion {
+        /// Kernel-mode diversion (fetches from kernel code space).
+        kernel: bool,
+    },
+}
+
+/// An infinite, seeded, deterministic instruction stream realizing a
+/// [`WorkloadProfile`].
+///
+/// The generator is an [`Iterator`]: take as many instructions as the
+/// simulation budget allows.
+///
+/// # Example
+///
+/// ```
+/// use horizon_trace::{TraceGenerator, WorkloadProfile};
+///
+/// let p = WorkloadProfile::builder("demo").branches(0.2).build()?;
+/// let branches = TraceGenerator::new(&p, 7)
+///     .take(20_000)
+///     .filter(|i| i.is_branch())
+///     .count();
+/// // The realized branch fraction tracks the profile.
+/// assert!((branches as f64 / 20_000.0 - 0.2).abs() < 0.03);
+/// # Ok::<(), horizon_trace::ProfileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    rng: SmallRng,
+    // Mix probabilities for non-branch instructions (renormalized).
+    p_load: f64,
+    p_store: f64,
+    p_fp: f64,
+    p_simd: f64,
+    branch_fraction: f64,
+    taken_fraction: f64,
+    // Control-flow automaton.
+    blocks: Vec<Block>,
+    sites: Vec<BranchSite>,
+    current: usize,
+    mode: Mode,
+    /// Automaton block to resume at when a diversion ends.
+    resume: usize,
+    /// Current fetch address.
+    pc: u64,
+    /// Wrap bounds for diversion fetch.
+    div_base: u64,
+    div_span: u64,
+    /// Non-branch instructions left before the block's branch.
+    remaining: u32,
+    kernel_fraction: f64,
+    cold_fraction: f64,
+    cold_base: u64,
+    cold_span: u64,
+    // Data side.
+    regions: Vec<RegionState>,
+    total_weight: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with the given seed.
+    ///
+    /// Identical `(profile, seed)` pairs produce identical streams.
+    pub fn new(profile: &WorkloadProfile, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93);
+        let mix = profile.mix();
+        let b = profile.branches();
+        let code = profile.code();
+
+        // Mean non-branch instructions per block so that the realized branch
+        // share equals the mix (block = len non-branch + 1 branch).
+        let mean_len = if mix.branches > 0.0 {
+            (1.0 / mix.branches - 1.0).max(0.0)
+        } else {
+            31.0
+        };
+
+        // Tile the hot region with blocks of geometric length.
+        let mut blocks = Vec::new();
+        let mut cursor = CODE_BASE;
+        let hot_end = CODE_BASE + code.hot_bytes;
+        while cursor < hot_end && blocks.len() < 65_536 {
+            let mut len = geometric_len(&mut rng, mean_len);
+            // Truncate the last tile so the block (incl. its branch slot)
+            // stays inside the hot region.
+            let room = (hot_end - cursor) / INSTRUCTION_BYTES;
+            if u64::from(len) + 1 > room {
+                len = room.saturating_sub(1) as u32;
+            }
+            blocks.push(Block {
+                pc: cursor,
+                len,
+                site: 0,          // assigned below
+                next_taken: 0,    // assigned below
+                phase: 0,         // assigned below
+            });
+            cursor += (len as u64 + 1) * INSTRUCTION_BYTES;
+        }
+        let n_blocks = blocks.len().max(1);
+
+        // One site per block up to the profile's static-branch budget;
+        // beyond that, blocks share site state cyclically (aliasing, as in
+        // large irregular codes).
+        let n_sites = b.static_branches.min(n_blocks).max(1);
+        let mut sites = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            let (class, bias) = if rng.gen_bool(b.regularity) {
+                // Easy: strongly biased toward one direction, chosen so the
+                // population's taken rate matches the profile.
+                if rng.gen_bool(b.taken_fraction.clamp(0.0, 1.0)) {
+                    (SiteClass::Easy, 0.998)
+                } else {
+                    (SiteClass::Easy, 0.002)
+                }
+            } else {
+                // Hard: half learnable rotations, half coins, biased near
+                // the taken fraction with the profile's spread.
+                let jitter: f64 = rng.gen_range(-1.0..1.0) * b.bias_spread * 0.5;
+                let bias = (b.taken_fraction + jitter).clamp(0.1, 0.9);
+                if rng.gen_bool(b.pattern_share.clamp(0.0, 1.0)) {
+                    (SiteClass::Pattern, bias)
+                } else {
+                    (SiteClass::Coin, bias)
+                }
+            };
+            sites.push(BranchSite { class, bias });
+        }
+        // Taken targets form a random permutation: every block has exactly
+        // one taken-edge inflow, keeping the stationary visit distribution
+        // near-uniform so the realized instruction mix matches the profile.
+        let mut permutation: Vec<usize> = (0..n_blocks).collect();
+        for i in (1..n_blocks).rev() {
+            let j = rng.gen_range(0..=i);
+            permutation.swap(i, j);
+        }
+        for (i, blk) in blocks.iter_mut().enumerate() {
+            blk.site = i % n_sites;
+            blk.next_taken = permutation[i];
+            blk.phase = rng.gen_range(0..PATTERN_PERIOD);
+        }
+
+        // Data regions, laid out with guard pages.
+        let mut regions = Vec::with_capacity(profile.memory().regions.len());
+        let mut base = DATA_BASE;
+        let mut cum = 0.0;
+        let total_weight: f64 = profile.memory().regions.iter().map(|r| r.weight).sum();
+        for r in &profile.memory().regions {
+            cum += r.weight;
+            regions.push(RegionState {
+                base,
+                bytes: r.bytes,
+                pattern: r.pattern,
+                cursor: 0,
+                cum_weight: cum,
+            });
+            base = (base + r.bytes + 4096) & !4095;
+        }
+
+        let non_branch = (1.0 - mix.branches).max(f64::MIN_POSITIVE);
+        let cold_span = code.footprint_bytes.saturating_sub(code.hot_bytes);
+        let first_len = blocks[0].len;
+        let first_pc = blocks[0].pc;
+        TraceGenerator {
+            rng,
+            p_load: mix.loads / non_branch,
+            p_store: mix.stores / non_branch,
+            p_fp: mix.fp / non_branch,
+            p_simd: mix.simd / non_branch,
+            branch_fraction: mix.branches,
+            taken_fraction: b.taken_fraction,
+            blocks,
+            sites,
+            current: 0,
+            mode: Mode::Hot,
+            resume: 0,
+            pc: first_pc,
+            div_base: CODE_BASE,
+            div_span: code.hot_bytes.max(INSTRUCTION_BYTES),
+            remaining: first_len,
+            kernel_fraction: profile.kernel_fraction(),
+            cold_fraction: 1.0 - code.hot_fraction,
+            cold_base: CODE_BASE + code.hot_bytes,
+            cold_span: cold_span.max(INSTRUCTION_BYTES),
+            regions,
+            total_weight,
+        }
+    }
+
+    /// Moves to automaton block `next`, possibly via a diversion first.
+    fn enter_next(&mut self, next: usize) {
+        let kernel = self.kernel_fraction > 0.0 && self.rng.gen_bool(self.kernel_fraction);
+        let cold = !kernel
+            && self.cold_fraction > 0.0
+            && self.cold_span > INSTRUCTION_BYTES
+            && self.rng.gen_bool(self.cold_fraction);
+        if kernel || cold {
+            self.resume = next;
+            self.mode = Mode::Diversion { kernel };
+            let (base, span) = if kernel {
+                // Most kernel entries run the same hot syscall paths; only
+                // occasionally does execution stray into the wider kernel.
+                if self.rng.gen_bool(0.9) {
+                    (KERNEL_CODE_BASE, (8 << 10).min(KERNEL_CODE_BYTES))
+                } else {
+                    (KERNEL_CODE_BASE, KERNEL_CODE_BYTES)
+                }
+            } else {
+                (self.cold_base, self.cold_span)
+            };
+            let slots = (span / INSTRUCTION_BYTES).max(1);
+            self.pc = base + self.rng.gen_range(0..slots) * INSTRUCTION_BYTES;
+            self.div_base = base;
+            self.div_span = span;
+            let mean_len = if self.branch_fraction > 0.0 {
+                (1.0 / self.branch_fraction - 1.0).max(0.0)
+            } else {
+                31.0
+            };
+            self.remaining = geometric_len(&mut self.rng, mean_len);
+        } else {
+            self.mode = Mode::Hot;
+            self.current = next;
+            let blk = self.blocks[next];
+            self.pc = blk.pc;
+            self.remaining = blk.len;
+        }
+    }
+
+    /// Emits the branch ending the current block/diversion and advances
+    /// control flow. Returns `None` when the profile has no branches.
+    fn finish_block(&mut self, kernel_mode: bool) -> Option<Instruction> {
+        match self.mode {
+            Mode::Hot => {
+                let blk = self.blocks[self.current];
+                let fall_through = (self.current + 1) % self.blocks.len();
+                if self.branch_fraction == 0.0 {
+                    self.enter_next(fall_through);
+                    return None;
+                }
+                let site = self.sites[blk.site];
+                let taken = match site.class {
+                    SiteClass::Easy | SiteClass::Coin => self.rng.gen_bool(site.bias),
+                    SiteClass::Pattern => {
+                        let takens = (site.bias * PATTERN_PERIOD as f64).round() as u32;
+                        let t = self.blocks[self.current].phase < takens;
+                        let blk_mut = &mut self.blocks[self.current];
+                        blk_mut.phase = (blk_mut.phase + 1) % PATTERN_PERIOD;
+                        t
+                    }
+                };
+                let branch_pc = blk.pc + blk.len as u64 * INSTRUCTION_BYTES;
+                // ε-perturbation on taken targets keeps the block automaton
+                // ergodic: with fully fixed targets the near-deterministic
+                // outcomes collapse the trajectory into a small attractor,
+                // shrinking the code footprint and skewing the visit mix.
+                let target_block = if taken {
+                    if self.rng.gen_bool(0.15) {
+                        self.rng.gen_range(0..self.blocks.len())
+                    } else {
+                        blk.next_taken
+                    }
+                } else {
+                    fall_through
+                };
+                let target = self.blocks[target_block].pc;
+                self.enter_next(target_block);
+                Some(Instruction {
+                    pc: branch_pc,
+                    kind: Kind::Branch { target, taken },
+                    kernel: kernel_mode,
+                })
+            }
+            Mode::Diversion { kernel } => {
+                let resume = self.resume;
+                if self.branch_fraction == 0.0 {
+                    self.enter_next(resume);
+                    return None;
+                }
+                // Diversion branches are one-off sites: biased coin.
+                let taken = self.rng.gen_bool(self.taken_fraction.clamp(0.02, 0.98));
+                let branch_pc = self.pc;
+                let target = self.blocks[resume].pc;
+                // Re-rolling through enter_next lets diversions chain, so
+                // the realized kernel share matches the profile fraction.
+                self.enter_next(resume);
+                Some(Instruction {
+                    pc: branch_pc,
+                    kind: Kind::Branch { target, taken },
+                    kernel,
+                })
+            }
+        }
+    }
+
+
+    /// Generates a data address according to the region mixture.
+    fn data_address(&mut self) -> u64 {
+        let pick: f64 = self.rng.gen_range(0.0..self.total_weight);
+        // Regions are few (≤ ~6); linear scan beats binary search here.
+        let region = self
+            .regions
+            .iter_mut()
+            .find(|r| pick < r.cum_weight)
+            .expect("cumulative weights cover total");
+        match region.pattern {
+            AccessPattern::Streaming { stride } => {
+                region.cursor = (region.cursor + stride) % region.bytes;
+                region.base + region.cursor
+            }
+            AccessPattern::Random => {
+                let lines = (region.bytes / 64).max(1);
+                let line = self.rng.gen_range(0..lines);
+                region.base + line * 64
+            }
+        }
+    }
+}
+
+/// The deterministic virtual-address layout of a profile's data regions:
+/// `(base, bytes)` per region, in declaration order. Mirrors the layout the
+/// generator uses, so simulators can pre-warm caches/TLBs without consuming
+/// trace randomness.
+pub fn region_layout(profile: &WorkloadProfile) -> Vec<(u64, u64)> {
+    let mut base = DATA_BASE;
+    let mut out = Vec::with_capacity(profile.memory().regions.len());
+    for r in &profile.memory().regions {
+        out.push((base, r.bytes));
+        base = (base + r.bytes + 4096) & !4095;
+    }
+    out
+}
+
+/// The virtual-address range of the profile's hot code region.
+pub fn hot_code_layout(profile: &WorkloadProfile) -> (u64, u64) {
+    (CODE_BASE, profile.code().hot_bytes)
+}
+
+/// The virtual-address range of the synthetic kernel's code.
+pub fn kernel_code_layout() -> (u64, u64) {
+    (KERNEL_CODE_BASE, KERNEL_CODE_BYTES)
+}
+
+/// Geometric-ish block length with the given mean, capped at 8× the mean.
+fn geometric_len(rng: &mut SmallRng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (mean + 1.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let len = (u.ln() / (1.0 - p).ln()).floor();
+    len.clamp(0.0, (mean * 8.0).max(4.0)) as u32
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        let kernel_mode = matches!(self.mode, Mode::Diversion { kernel: true });
+        loop {
+            if self.remaining == 0 {
+                if let Some(branch) = self.finish_block(kernel_mode) {
+                    return Some(branch);
+                }
+                // Profile without branches: control moved on; emit from the
+                // new block on the next loop iteration.
+                continue;
+            }
+            self.remaining -= 1;
+            let pc = self.pc;
+            self.pc += INSTRUCTION_BYTES;
+            // Keep diversion fetch inside its region.
+            if matches!(self.mode, Mode::Diversion { .. })
+                && self.pc >= self.div_base + self.div_span
+            {
+                self.pc = self.div_base;
+            }
+            let u: f64 = self.rng.gen();
+            let kind = if u < self.p_load {
+                Kind::Load {
+                    addr: self.data_address(),
+                }
+            } else if u < self.p_load + self.p_store {
+                Kind::Store {
+                    addr: self.data_address(),
+                }
+            } else if u < self.p_load + self.p_store + self.p_fp {
+                Kind::FpAlu
+            } else if u < self.p_load + self.p_store + self.p_fp + self.p_simd {
+                Kind::Simd
+            } else {
+                Kind::IntAlu
+            };
+            return Some(Instruction {
+                pc,
+                kind,
+                kernel: kernel_mode,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BranchBehavior, CodeModel, Region};
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile::builder("t")
+            .loads(0.30)
+            .stores(0.10)
+            .branches(0.15)
+            .fp(0.05)
+            .simd(0.05)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let p = profile();
+        let a: Vec<_> = TraceGenerator::new(&p, 1).take(5000).collect();
+        let b: Vec<_> = TraceGenerator::new(&p, 1).take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = profile();
+        let a: Vec<_> = TraceGenerator::new(&p, 1).take(1000).collect();
+        let b: Vec<_> = TraceGenerator::new(&p, 2).take(1000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn realized_mix_tracks_profile() {
+        let p = profile();
+        let n = 200_000;
+        let trace: Vec<_> = TraceGenerator::new(&p, 3).take(n).collect();
+        let frac = |f: &dyn Fn(&Instruction) -> bool| {
+            trace.iter().filter(|i| f(i)).count() as f64 / n as f64
+        };
+        assert!((frac(&|i| i.is_load()) - 0.30).abs() < 0.02);
+        assert!((frac(&|i| i.is_store()) - 0.10).abs() < 0.02);
+        assert!((frac(&|i| i.is_branch()) - 0.15).abs() < 0.02);
+        assert!((frac(&|i| i.is_fp()) - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn taken_fraction_tracks_profile() {
+        let b = BranchBehavior {
+            taken_fraction: 0.7,
+            regularity: 0.9,
+                    pattern_share: 0.5,
+            static_branches: 4096,
+            bias_spread: 0.2,
+        };
+        let p = WorkloadProfile::builder("t")
+            .branches(0.2)
+            .branch_behavior(b)
+            .build()
+            .unwrap();
+        let trace: Vec<_> = TraceGenerator::new(&p, 5).take(300_000).collect();
+        let (mut taken, mut total) = (0usize, 0usize);
+        for i in &trace {
+            if let Kind::Branch { taken: t, .. } = i.kind {
+                total += 1;
+                taken += t as usize;
+            }
+        }
+        let f = taken as f64 / total as f64;
+        assert!((f - 0.7).abs() < 0.08, "taken fraction {f}");
+    }
+
+    #[test]
+    fn addresses_stay_within_regions() {
+        let p = WorkloadProfile::builder("t")
+            .loads(0.5)
+            .regions(vec![Region::random(1 << 16, 1.0), Region::streaming(1 << 14, 1.0, 64)])
+            .build()
+            .unwrap();
+        let spans: Vec<(u64, u64)> = {
+            // Recompute expected bases (mirrors generator layout logic).
+            let mut base = DATA_BASE;
+            let mut out = Vec::new();
+            for bytes in [1u64 << 16, 1 << 14] {
+                out.push((base, base + bytes));
+                base = (base + bytes + 4096) & !4095;
+            }
+            out
+        };
+        for inst in TraceGenerator::new(&p, 11).take(50_000) {
+            if let Some(a) = inst.data_address() {
+                assert!(
+                    spans.iter().any(|&(lo, hi)| a >= lo && a < hi),
+                    "address {a:#x} outside all regions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_region_walks_sequentially() {
+        let p = WorkloadProfile::builder("t")
+            .loads(1.0)
+            .stores(0.0)
+            .branches(0.0)
+            .regions(vec![Region::streaming(1 << 20, 1.0, 64)])
+            .build()
+            .unwrap();
+        let addrs: Vec<u64> = TraceGenerator::new(&p, 1)
+            .take(1000)
+            .filter_map(|i| i.data_address())
+            .collect();
+        for w in addrs.windows(2) {
+            let delta = w[1].wrapping_sub(w[0]);
+            // Either the fixed stride or the wrap-around.
+            assert!(delta == 64 || w[1] < w[0]);
+        }
+    }
+
+    #[test]
+    fn no_branches_profile_emits_no_branches() {
+        let p = WorkloadProfile::builder("t").branches(0.0).build().unwrap();
+        assert!(TraceGenerator::new(&p, 1)
+            .take(10_000)
+            .all(|i| !i.is_branch()));
+    }
+
+    #[test]
+    fn kernel_fraction_respected() {
+        let p = WorkloadProfile::builder("t")
+            .kernel_fraction(0.3)
+            .build()
+            .unwrap();
+        let n = 100_000;
+        let k = TraceGenerator::new(&p, 9)
+            .take(n)
+            .filter(|i| i.kernel)
+            .count();
+        assert!((k as f64 / n as f64 - 0.3).abs() < 0.06, "{}", k as f64 / n as f64);
+        // Kernel instructions fetch from the kernel code range.
+        for i in TraceGenerator::new(&p, 9).take(10_000) {
+            if i.kernel {
+                assert!(i.pc >= KERNEL_CODE_BASE);
+            } else {
+                assert!(i.pc < KERNEL_CODE_BASE);
+            }
+        }
+    }
+
+    #[test]
+    fn small_hot_code_reuses_pcs() {
+        let tight = CodeModel {
+            footprint_bytes: 4096,
+            hot_fraction: 1.0,
+            hot_bytes: 4096,
+        };
+        let p = WorkloadProfile::builder("t")
+            .code_model(tight)
+            .kernel_fraction(0.0)
+            .build()
+            .unwrap();
+        let pcs: std::collections::HashSet<u64> = TraceGenerator::new(&p, 2)
+            .take(50_000)
+            .map(|i| i.pc)
+            .collect();
+        // All fetches fall within the 4 KiB footprint.
+        assert!(pcs.len() <= 1024, "{} distinct pcs", pcs.len());
+        assert!(pcs.iter().all(|&pc| (CODE_BASE..CODE_BASE + 4096).contains(&pc)));
+    }
+
+    #[test]
+    fn branch_pcs_are_stable_per_block() {
+        // Every branch PC observed must recur (finite set = static sites).
+        let p = WorkloadProfile::builder("t")
+            .branches(0.25)
+            .kernel_fraction(0.0)
+            .code_model(CodeModel {
+                footprint_bytes: 8192,
+                hot_fraction: 1.0,
+                hot_bytes: 8192,
+            })
+            .build()
+            .unwrap();
+        let branch_pcs: Vec<u64> = TraceGenerator::new(&p, 3)
+            .take(100_000)
+            .filter(|i| i.is_branch())
+            .map(|i| i.pc)
+            .collect();
+        let distinct: std::collections::HashSet<_> = branch_pcs.iter().collect();
+        // Many executions per distinct site on average.
+        assert!(branch_pcs.len() > distinct.len() * 10);
+    }
+
+    #[test]
+    fn regular_branches_are_more_predictable_than_irregular() {
+        // A last-outcome predictor keyed by PC beats a coin flip on regular
+        // (rotation-pattern) branches and not on irregular ones.
+        let accuracy = |regularity: f64| {
+            let b = BranchBehavior {
+                taken_fraction: 0.5,
+                regularity,
+                    pattern_share: 0.5,
+                static_branches: 8192,
+                bias_spread: 0.0,
+            };
+            let p = WorkloadProfile::builder("t")
+                .branches(0.3)
+                .kernel_fraction(0.0)
+                .code_model(CodeModel {
+                    footprint_bytes: 2048,
+                    hot_fraction: 1.0,
+                    hot_bytes: 2048,
+                })
+                .branch_behavior(b)
+                .build()
+                .unwrap();
+            let mut last: std::collections::HashMap<u64, bool> = Default::default();
+            let (mut hits, mut total) = (0usize, 0usize);
+            for i in TraceGenerator::new(&p, 4).take(200_000) {
+                if let Kind::Branch { taken, .. } = i.kind {
+                    let pred = *last.get(&i.pc).unwrap_or(&true);
+                    hits += (pred == taken) as usize;
+                    total += 1;
+                    last.insert(i.pc, taken);
+                }
+            }
+            hits as f64 / total as f64
+        };
+        let reg = accuracy(1.0);
+        let irr = accuracy(0.0);
+        assert!(reg > irr + 0.15, "regular {reg} vs irregular {irr}");
+    }
+
+    #[test]
+    fn taken_branch_targets_match_block_starts() {
+        let p = profile();
+        // Block starts include zero-length blocks whose only instruction is
+        // the branch itself, so collect every user-mode fetch PC.
+        let block_pcs: std::collections::HashSet<u64> = TraceGenerator::new(&p, 6)
+            .take(50_000)
+            .filter(|i| !i.kernel)
+            .map(|i| i.pc)
+            .collect();
+        for i in TraceGenerator::new(&p, 6).take(10_000) {
+            if let Kind::Branch { target, .. } = i.kind {
+                // Targets are hot-block starts, hence observed fetch PCs.
+                assert!(block_pcs.contains(&target), "target {target:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The instruction vocabulary shared between trace generation and the
+//! microarchitecture simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural size of one instruction in bytes (RISC-style fixed width;
+/// instruction-cache behavior is insensitive to the exact constant).
+pub const INSTRUCTION_BYTES: u64 = 4;
+
+/// Cache line size assumed by address generation (bytes).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Page size assumed by TLB modeling (bytes).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Operation class of a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kind {
+    /// Memory read from the given virtual address.
+    Load {
+        /// Virtual byte address accessed.
+        addr: u64,
+    },
+    /// Memory write to the given virtual address.
+    Store {
+        /// Virtual byte address accessed.
+        addr: u64,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Branch target if taken.
+        target: u64,
+        /// Architectural outcome.
+        taken: bool,
+    },
+    /// Integer ALU operation.
+    IntAlu,
+    /// Scalar floating-point operation.
+    FpAlu,
+    /// SIMD/vector operation.
+    Simd,
+}
+
+/// One dynamic instruction: a program counter plus an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Virtual address of the instruction itself (for I-cache/I-TLB/BTB).
+    pub pc: u64,
+    /// Operation class and operands.
+    pub kind: Kind,
+    /// True if the instruction executes in kernel mode (syscall servicing).
+    pub kernel: bool,
+}
+
+impl Instruction {
+    /// The data address touched by this instruction, if it is a load/store.
+    pub fn data_address(&self) -> Option<u64> {
+        match self.kind {
+            Kind::Load { addr } | Kind::Store { addr } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self.kind, Kind::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self.kind, Kind::Store { .. })
+    }
+
+    /// True for conditional branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self.kind, Kind::Branch { .. })
+    }
+
+    /// True for scalar FP or SIMD operations.
+    pub fn is_fp(&self) -> bool {
+        matches!(self.kind, Kind::FpAlu | Kind::Simd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_address_only_for_memory_ops() {
+        let ld = Instruction {
+            pc: 0x1000,
+            kind: Kind::Load { addr: 0x2000 },
+            kernel: false,
+        };
+        assert_eq!(ld.data_address(), Some(0x2000));
+        assert!(ld.is_load() && !ld.is_store() && !ld.is_branch() && !ld.is_fp());
+
+        let br = Instruction {
+            pc: 0x1004,
+            kind: Kind::Branch {
+                target: 0x1100,
+                taken: true,
+            },
+            kernel: false,
+        };
+        assert_eq!(br.data_address(), None);
+        assert!(br.is_branch());
+    }
+
+    #[test]
+    fn fp_classification() {
+        let fp = Instruction {
+            pc: 0,
+            kind: Kind::FpAlu,
+            kernel: false,
+        };
+        let simd = Instruction {
+            pc: 0,
+            kind: Kind::Simd,
+            kernel: false,
+        };
+        let int = Instruction {
+            pc: 0,
+            kind: Kind::IntAlu,
+            kernel: false,
+        };
+        assert!(fp.is_fp() && simd.is_fp() && !int.is_fp());
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic instruction-trace generation from statistical workload profiles.
+//!
+//! The HPCA'18 study measures SPEC CPU2017 binaries with hardware counters.
+//! Those binaries (and the machines) are not available here, so this crate
+//! provides the substitute substrate: a [`WorkloadProfile`] captures the
+//! *statistical* behavior of a benchmark — instruction mix, data-reuse
+//! regions, branch predictability, code footprint — and a [`TraceGenerator`]
+//! expands a profile into a deterministic, seeded instruction stream that a
+//! microarchitecture simulator can consume.
+//!
+//! The crucial property is that a profile does **not** encode miss rates
+//! directly. It encodes footprints and access patterns; miss rates then
+//! *emerge* from the interaction with a specific machine's cache/TLB/branch
+//! predictor geometry, which is exactly the mechanism that makes the paper's
+//! cross-machine analyses (PCA features per machine, Table IX sensitivity)
+//! meaningful.
+//!
+//! # Example
+//!
+//! ```
+//! use horizon_trace::{TraceGenerator, WorkloadProfile};
+//!
+//! let profile = WorkloadProfile::builder("toy")
+//!     .loads(0.3)
+//!     .stores(0.1)
+//!     .branches(0.15)
+//!     .build()?;
+//! let trace: Vec<_> = TraceGenerator::new(&profile, 42).take(1000).collect();
+//! assert_eq!(trace.len(), 1000);
+//! # Ok::<(), horizon_trace::ProfileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod instruction;
+mod profile;
+
+pub use generator::{hot_code_layout, kernel_code_layout, region_layout, TraceGenerator};
+pub use instruction::{Instruction, Kind, CACHE_LINE_BYTES, INSTRUCTION_BYTES, PAGE_BYTES};
+pub use profile::{
+    AccessPattern, BranchBehavior, CodeModel, InstructionMix, MemoryModel, ProfileBuilder,
+    ProfileError, Region, WorkloadProfile,
+};

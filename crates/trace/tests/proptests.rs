@@ -1,0 +1,80 @@
+//! Property-based tests for profile validation and trace generation.
+
+use horizon_trace::{Region, TraceGenerator, WorkloadProfile};
+use proptest::prelude::*;
+
+/// Strategy for a valid instruction mix (fractions summing below 1).
+fn mix() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
+    (0.0..0.4f64, 0.0..0.2f64, 0.0..0.3f64, 0.0..0.05f64, 0.0..0.05f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_mixes_build((l, s, b, f, v) in mix(), seed in any::<u64>()) {
+        let p = WorkloadProfile::builder("p")
+            .loads(l).stores(s).branches(b).fp(f).simd(v)
+            .build()
+            .unwrap();
+        // Generation never panics and emits the requested count.
+        let n = 2_000;
+        let trace: Vec<_> = TraceGenerator::new(&p, seed).take(n).collect();
+        prop_assert_eq!(trace.len(), n);
+    }
+
+    #[test]
+    fn realized_mix_within_tolerance((l, s, b, f, v) in mix(), seed in 0u64..32) {
+        let p = WorkloadProfile::builder("p")
+            .loads(l).stores(s).branches(b).fp(f).simd(v)
+            .build()
+            .unwrap();
+        let n = 60_000;
+        let trace: Vec<_> = TraceGenerator::new(&p, seed).take(n).collect();
+        let loads = trace.iter().filter(|i| i.is_load()).count() as f64 / n as f64;
+        let branches = trace.iter().filter(|i| i.is_branch()).count() as f64 / n as f64;
+        prop_assert!((loads - l).abs() < 0.03, "loads {} vs {}", loads, l);
+        // Branch share has extra variance from the finite block population
+        // and the automaton's visit distribution; the catalog-level
+        // integration tests pin it tighter at larger windows.
+        prop_assert!((branches - b).abs() < 0.06, "branches {} vs {}", branches, b);
+    }
+
+    #[test]
+    fn determinism(seed in any::<u64>()) {
+        let p = WorkloadProfile::builder("p").build().unwrap();
+        let a: Vec<_> = TraceGenerator::new(&p, seed).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(&p, seed).take(500).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_addresses_within_total_footprint(
+        bytes1 in 64u64..(1 << 22),
+        bytes2 in 64u64..(1 << 22),
+        seed in 0u64..16,
+    ) {
+        let p = WorkloadProfile::builder("p")
+            .loads(0.5)
+            .regions(vec![Region::random(bytes1, 1.0), Region::streaming(bytes2, 0.5, 64)])
+            .build()
+            .unwrap();
+        // All data addresses fall in [DATA_BASE, DATA_BASE + footprint + slack).
+        let base = 0x1000_0000_0000u64;
+        let limit = base + bytes1 + bytes2 + 16384;
+        for inst in TraceGenerator::new(&p, seed).take(5_000) {
+            if let Some(a) = inst.data_address() {
+                prop_assert!(a >= base && a < limit, "addr {:#x}", a);
+            }
+        }
+    }
+
+    #[test]
+    fn blend_of_self_is_identity_on_scalars(l in 0.0..0.4f64) {
+        let p = WorkloadProfile::builder("p").loads(l).build().unwrap();
+        let blended = WorkloadProfile::blend("b", &[(&p, 1.0), (&p, 3.0)]).unwrap();
+        prop_assert!((blended.mix().loads - l).abs() < 1e-12);
+        prop_assert!((blended.branches().taken_fraction
+            - p.branches().taken_fraction).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Set-associative cache with true-LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Convenience constructor with 64-byte lines.
+    pub fn new(capacity_bytes: u64, associativity: u32) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            associativity,
+            line_bytes: 64,
+        }
+    }
+
+    /// Number of sets implied by the geometry (at least 1).
+    pub fn sets(&self) -> u64 {
+        (self.capacity_bytes / (self.line_bytes * self.associativity as u64)).max(1)
+    }
+}
+
+/// A set-associative cache with LRU replacement and hit/miss counters.
+///
+/// The simulator only needs hit/miss behavior, so lines carry no data.
+///
+/// # Example
+///
+/// ```
+/// use horizon_uarch::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2)); // 8 sets x 2 ways
+/// assert!(!c.access(0));        // cold miss
+/// assert!(c.access(0));         // hit
+/// assert_eq!(c.misses(), 1);
+/// assert_eq!(c.accesses(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// sets × ways tag array; `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// Per-way LRU stamps (higher = more recently used).
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, the associativity is
+    /// zero, or the capacity is smaller than one way of lines.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.associativity > 0, "associativity must be nonzero");
+        let sets = config.sets();
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (capacity {} / line {} / ways {})",
+            config.capacity_bytes,
+            config.line_bytes,
+            config.associativity
+        );
+        let ways = config.associativity as usize;
+        Cache {
+            config,
+            tags: vec![u64::MAX; sets as usize * ways],
+            stamps: vec![0; sets as usize * ways],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    /// On miss, the line is installed (allocate-on-miss for both reads and
+    /// writes — the counter study doesn't distinguish write policies).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = self.config.associativity as usize;
+        let base = set * ways;
+
+        // Hit path.
+        for w in 0..ways {
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        // Miss: install in the LRU way.
+        self.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio (0 when never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Installs the line containing `addr` without touching the access/miss
+    /// counters — the fill path used by hardware prefetchers. Inserts at
+    /// MRU priority.
+    pub fn install(&mut self, addr: u64) {
+        self.install_with_priority(addr, true);
+    }
+
+    /// Installs a line at LRU priority: it becomes the set's first victim
+    /// unless a demand access promotes it. This is how hardware inserts
+    /// prefetches into shared levels so streams cannot wash out resident
+    /// working sets.
+    pub fn install_lru(&mut self, addr: u64) {
+        self.install_with_priority(addr, false);
+    }
+
+    fn install_with_priority(&mut self, addr: u64, mru: bool) {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = self.config.associativity as usize;
+        let base = set * ways;
+        for w in 0..ways {
+            if self.tags[base + w] == tag {
+                if mru {
+                    self.stamps[base + w] = self.clock;
+                }
+                return;
+            }
+        }
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        // LRU-priority fills keep the victim's (oldest) stamp so they are
+        // evicted first; MRU fills take the newest stamp.
+        self.stamps[base + victim] = if mru { self.clock } else { 0 };
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_computation() {
+        let c = CacheConfig::new(32 << 10, 8);
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::new(1024, 2));
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13F)); // same 64B line
+        assert!(!c.access(0x140)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set, 2 ways: lines A, B fill the set; touching A then adding C
+        // must evict B.
+        let mut c = Cache::new(Cache::tiny_config());
+        let a = 0u64;
+        let b = 64 * Cache::tiny_sets();
+        let cc = 2 * 64 * Cache::tiny_sets();
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // A is now MRU
+        assert!(!c.access(cc)); // evicts B
+        assert!(c.access(a));
+        assert!(!c.access(b)); // B was evicted
+    }
+
+    impl Cache {
+        fn tiny_config() -> CacheConfig {
+            CacheConfig::new(128, 2) // 1 set x 2 ways x 64B
+        }
+        fn tiny_sets() -> u64 {
+            Cache::tiny_config().sets()
+        }
+    }
+
+    #[test]
+    fn working_set_behavior() {
+        // A working set that fits has ~0 steady-state misses; one that
+        // doesn't fit thrashes.
+        let cfg = CacheConfig::new(4096, 4); // 64 lines
+        let mut fits = Cache::new(cfg);
+        for _ in 0..10 {
+            for i in 0..32u64 {
+                fits.access(i * 64);
+            }
+        }
+        assert_eq!(fits.misses(), 32); // only cold misses
+
+        let mut thrash = Cache::new(cfg);
+        for _ in 0..10 {
+            for i in 0..128u64 {
+                thrash.access(i * 64);
+            }
+        }
+        // LRU on a cyclic sweep larger than capacity misses every time.
+        assert_eq!(thrash.misses(), 1280);
+    }
+
+    #[test]
+    fn miss_ratio_and_reset() {
+        let mut c = Cache::new(CacheConfig::new(1024, 2));
+        assert_eq!(c.miss_ratio(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.miss_ratio() - 0.5).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(0)); // cold again after reset
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_ways_panics() {
+        Cache::new(CacheConfig::new(1024, 0));
+    }
+
+    #[test]
+    fn larger_cache_never_misses_more() {
+        // Inclusion-style sanity: same trace, bigger capacity, same assoc.
+        let addrs: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761) % (1 << 16)).collect();
+        let mut small = Cache::new(CacheConfig::new(4 << 10, 4));
+        let mut big = Cache::new(CacheConfig::new(64 << 10, 4));
+        for &a in &addrs {
+            small.access(a);
+            big.access(a);
+        }
+        assert!(big.misses() <= small.misses());
+    }
+}

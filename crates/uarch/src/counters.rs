@@ -1,0 +1,205 @@
+//! Hardware-counter-style measurement results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topdown::CpiStack;
+
+/// Raw event counts plus the derived cycle accounting for one simulation.
+///
+/// This is the substitute for a Linux `perf stat` readout: every Table III
+/// metric of the paper is derivable from these fields.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+    /// Retired conditional branches.
+    pub branches: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Mispredicted conditional branches.
+    pub mispredicts: u64,
+    /// Scalar floating-point operations.
+    pub fp_ops: u64,
+    /// SIMD operations.
+    pub simd_ops: u64,
+    /// Instructions executed in kernel mode.
+    pub kernel_instructions: u64,
+
+    /// L1 instruction-cache accesses.
+    pub l1i_accesses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L2 accesses from the instruction side.
+    pub l2i_accesses: u64,
+    /// L2 misses from the instruction side.
+    pub l2i_misses: u64,
+    /// L2 accesses from the data side.
+    pub l2d_accesses: u64,
+    /// L2 misses from the data side.
+    pub l2d_misses: u64,
+    /// L3 accesses (0 when no L3).
+    pub l3_accesses: u64,
+    /// L3 misses (0 when no L3).
+    pub l3_misses: u64,
+    /// DRAM accesses (L3 misses, or L2 misses when no L3).
+    pub memory_accesses: u64,
+
+    /// L1 instruction-TLB misses.
+    pub itlb_misses: u64,
+    /// L1 data-TLB misses.
+    pub dtlb_misses: u64,
+    /// Page walks triggered by instruction fetches.
+    pub page_walks_instruction: u64,
+    /// Page walks triggered by data accesses.
+    pub page_walks_data: u64,
+
+    /// Workload dependency-intensity knob (0..1), copied from the profile;
+    /// used by the CPI model for stall overlap.
+    pub dependency_intensity: f64,
+    /// Core frequency in GHz of the machine the run used.
+    pub freq_ghz: f64,
+    /// Cycle accounting computed by the top-down model.
+    pub cpi_stack: CpiStack,
+}
+
+impl Counters {
+    /// Misses per kilo-instruction for an event count.
+    pub fn mpki(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Misses per million instructions (the paper reports TLB behavior in
+    /// MPMI because the rates are low).
+    pub fn mpmi(&self, events: u64) -> f64 {
+        self.mpki(events) * 1000.0
+    }
+
+    /// Fraction of instructions of a given count.
+    pub fn fraction(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 / self.instructions as f64
+        }
+    }
+
+    /// Cycles per instruction from the top-down stack.
+    pub fn cpi(&self) -> f64 {
+        self.cpi_stack.total()
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let cpi = self.cpi();
+        if cpi > 0.0 {
+            1.0 / cpi
+        } else {
+            0.0
+        }
+    }
+
+    /// Branch misses per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        self.mpki(self.mispredicts)
+    }
+
+    /// Taken-branch events per kilo-instruction.
+    pub fn taken_branch_pki(&self) -> f64 {
+        self.mpki(self.taken_branches)
+    }
+
+    /// Branch misprediction ratio (mispredicts / branches).
+    pub fn misprediction_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Projected wall-clock seconds for a full run of `icount_billions`
+    /// dynamic instructions at this CPI and frequency.
+    pub fn projected_seconds(&self, icount_billions: f64) -> f64 {
+        if self.freq_ghz <= 0.0 {
+            return 0.0;
+        }
+        icount_billions * 1e9 * self.cpi() / (self.freq_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counters {
+        Counters {
+            instructions: 10_000,
+            loads: 3_000,
+            branches: 1_000,
+            taken_branches: 600,
+            mispredicts: 50,
+            l1d_misses: 120,
+            dtlb_misses: 4,
+            freq_ghz: 2.0,
+            cpi_stack: CpiStack {
+                base: 0.25,
+                frontend: 0.05,
+                bad_speculation: 0.10,
+                memory: 0.30,
+                core: 0.10,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mpki_and_mpmi() {
+        let c = sample();
+        assert!((c.mpki(c.l1d_misses) - 12.0).abs() < 1e-12);
+        assert!((c.mpmi(c.dtlb_misses) - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_instructions_is_safe() {
+        let c = Counters::default();
+        assert_eq!(c.mpki(100), 0.0);
+        assert_eq!(c.fraction(100), 0.0);
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.misprediction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn cpi_totals_stack() {
+        let c = sample();
+        assert!((c.cpi() - 0.80).abs() < 1e-12);
+        assert!((c.ipc() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_metrics() {
+        let c = sample();
+        assert!((c.branch_mpki() - 5.0).abs() < 1e-12);
+        assert!((c.taken_branch_pki() - 60.0).abs() < 1e-12);
+        assert!((c.misprediction_ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn projected_seconds_scales_with_icount_and_freq() {
+        let c = sample();
+        // 1 billion instructions at CPI 0.8 and 2 GHz = 0.4 s.
+        assert!((c.projected_seconds(1.0) - 0.4).abs() < 1e-12);
+        assert!((c.projected_seconds(2.0) - 0.8).abs() < 1e-12);
+    }
+}

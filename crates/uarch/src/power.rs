@@ -1,0 +1,185 @@
+//! RAPL-style power estimation (core / LLC / DRAM planes).
+//!
+//! The paper's Figure 12 compares suites in a PCA space where "PC1 is
+//! dominated by the power spent in DRAM memory and PC2 is dominated by the
+//! power spent in the processor cores". The model below preserves those
+//! axes: core power follows activity (IPC, FP/SIMD intensity, frequency);
+//! DRAM power follows memory bandwidth; LLC power follows L2-miss traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::Counters;
+use crate::machine::MachineConfig;
+
+/// Estimated average power draw in watts, by plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Core (execution units + private caches) watts.
+    pub core_watts: f64,
+    /// Last-level-cache plane watts.
+    pub llc_watts: f64,
+    /// DRAM plane watts.
+    pub dram_watts: f64,
+}
+
+impl PowerReport {
+    /// Total package + memory power.
+    pub fn total(&self) -> f64 {
+        self.core_watts + self.llc_watts + self.dram_watts
+    }
+}
+
+/// Analytic activity-based power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Idle/static core watts.
+    pub core_static: f64,
+    /// Watts per (IPC × GHz) of general activity.
+    pub core_dynamic: f64,
+    /// Extra watts per FP operation per cycle.
+    pub fp_weight: f64,
+    /// Extra watts per SIMD operation per cycle (wide datapaths burn more).
+    pub simd_weight: f64,
+    /// Static LLC watts (scales with capacity at build time).
+    pub llc_static: f64,
+    /// Watts per LLC access per cycle.
+    pub llc_dynamic: f64,
+    /// Static DRAM watts.
+    pub dram_static: f64,
+    /// Watts per DRAM access per cycle.
+    pub dram_dynamic: f64,
+}
+
+impl PowerModel {
+    /// A model scaled for a specific machine: LLC static power grows with
+    /// capacity, core static power with frequency.
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        let llc_mb = machine
+            .hierarchy
+            .l3
+            .map(|c| c.capacity_bytes as f64 / (1 << 20) as f64)
+            .unwrap_or(0.0);
+        PowerModel {
+            core_static: 2.0 + 1.2 * machine.freq_ghz,
+            core_dynamic: 4.5,
+            fp_weight: 9.0,
+            simd_weight: 16.0,
+            llc_static: 0.8 + 0.12 * llc_mb,
+            llc_dynamic: 25.0,
+            dram_static: 1.5,
+            dram_dynamic: 220.0,
+        }
+    }
+
+    /// Estimates the power planes for a finished run on `machine`.
+    ///
+    /// Returns all-static power for an empty counter set.
+    pub fn estimate(&self, counters: &Counters, machine: &MachineConfig) -> PowerReport {
+        let ipc = counters.ipc();
+        let n = counters.instructions as f64;
+        if n == 0.0 {
+            return PowerReport {
+                core_watts: self.core_static,
+                llc_watts: self.llc_static,
+                dram_watts: self.dram_static,
+            };
+        }
+        let ghz = machine.freq_ghz;
+        let fp_per_cycle = counters.fraction(counters.fp_ops) * ipc;
+        let simd_per_cycle = counters.fraction(counters.simd_ops) * ipc;
+        let llc_per_cycle = counters.fraction(counters.l3_accesses) * ipc;
+        let dram_per_cycle = counters.fraction(counters.memory_accesses) * ipc;
+
+        PowerReport {
+            core_watts: self.core_static
+                + (self.core_dynamic * ipc
+                    + self.fp_weight * fp_per_cycle
+                    + self.simd_weight * simd_per_cycle)
+                    * ghz,
+            llc_watts: self.llc_static + self.llc_dynamic * llc_per_cycle * ghz,
+            dram_watts: self.dram_static + self.dram_dynamic * dram_per_cycle * ghz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topdown::CpiStack;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::skylake_i7_6700()
+    }
+
+    fn counters(ipc_target: f64) -> Counters {
+        Counters {
+            instructions: 100_000,
+            freq_ghz: 3.4,
+            cpi_stack: CpiStack {
+                base: 1.0 / ipc_target,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_run_draws_static_power() {
+        let m = machine();
+        let pm = PowerModel::for_machine(&m);
+        let r = pm.estimate(&Counters::default(), &m);
+        assert_eq!(r.core_watts, pm.core_static);
+        assert_eq!(r.dram_watts, pm.dram_static);
+    }
+
+    #[test]
+    fn higher_ipc_burns_more_core_power() {
+        let m = machine();
+        let pm = PowerModel::for_machine(&m);
+        let low = pm.estimate(&counters(0.5), &m);
+        let high = pm.estimate(&counters(3.0), &m);
+        assert!(high.core_watts > low.core_watts);
+    }
+
+    #[test]
+    fn memory_traffic_burns_dram_power() {
+        let m = machine();
+        let pm = PowerModel::for_machine(&m);
+        let mut c = counters(1.0);
+        let quiet = pm.estimate(&c, &m);
+        c.memory_accesses = 5_000;
+        let busy = pm.estimate(&c, &m);
+        assert!(busy.dram_watts > quiet.dram_watts + 1.0);
+        assert_eq!(busy.core_watts, quiet.core_watts);
+    }
+
+    #[test]
+    fn simd_heavier_than_scalar_fp() {
+        let m = machine();
+        let pm = PowerModel::for_machine(&m);
+        let mut fp = counters(2.0);
+        fp.fp_ops = 30_000;
+        let mut simd = counters(2.0);
+        simd.simd_ops = 30_000;
+        assert!(pm.estimate(&simd, &m).core_watts > pm.estimate(&fp, &m).core_watts);
+    }
+
+    #[test]
+    fn bigger_llc_higher_static_power() {
+        let sky = MachineConfig::skylake_i7_6700(); // 8 MB
+        let bdw = MachineConfig::broadwell_e5_2650v4(); // 30 MB
+        assert!(
+            PowerModel::for_machine(&bdw).llc_static > PowerModel::for_machine(&sky).llc_static
+        );
+    }
+
+    #[test]
+    fn total_sums_planes() {
+        let r = PowerReport {
+            core_watts: 10.0,
+            llc_watts: 2.0,
+            dram_watts: 3.0,
+        };
+        assert_eq!(r.total(), 15.0);
+    }
+}

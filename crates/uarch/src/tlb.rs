@@ -1,0 +1,301 @@
+//! Translation lookaside buffers and the page-walk model.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Associativity (ways per set). Use `entries` for fully-associative.
+    pub associativity: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+}
+
+impl TlbConfig {
+    /// Convenience constructor for a 4 KiB-page TLB.
+    pub fn new(entries: u32, associativity: u32) -> Self {
+        TlbConfig {
+            entries,
+            associativity,
+            page_bytes: 4096,
+        }
+    }
+
+    fn sets(&self) -> u32 {
+        (self.entries / self.associativity).max(1)
+    }
+}
+
+/// A set-associative TLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    accesses: u64,
+    misses: u64,
+    page_shift: u32,
+    set_mask: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries/associativity are zero, the set count is not a
+    /// power of two, or the page size is not a power of two.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.entries > 0 && config.associativity > 0);
+        assert!(config.page_bytes.is_power_of_two());
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        Tlb {
+            config,
+            tags: vec![u64::MAX; (sets * config.associativity) as usize],
+            stamps: vec![0; (sets * config.associativity) as usize],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+            page_shift: config.page_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// Geometry of this TLB.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Looks up the page containing `addr`; returns `true` on hit. Misses
+    /// install the translation.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.accesses += 1;
+        let page = addr >> self.page_shift;
+        let set = (page & self.set_mask) as usize;
+        let tag = page >> self.set_mask.count_ones();
+        let ways = self.config.associativity as usize;
+        let base = set * ways;
+        for w in 0..ways {
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Total lookups.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Configuration of the two-level TLB hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbHierarchyConfig {
+    /// First-level instruction TLB.
+    pub l1i: TlbConfig,
+    /// First-level data TLB.
+    pub l1d: TlbConfig,
+    /// Unified second-level TLB, if present.
+    pub l2: Option<TlbConfig>,
+}
+
+/// Two-level TLB hierarchy: split L1 I/D TLBs backed by an optional unified
+/// L2; L2 misses count as page walks.
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1i: Tlb,
+    l1d: Tlb,
+    l2: Option<Tlb>,
+    page_walks_instruction: u64,
+    page_walks_data: u64,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from its configuration.
+    pub fn new(config: &TlbHierarchyConfig) -> Self {
+        TlbHierarchy {
+            l1i: Tlb::new(config.l1i),
+            l1d: Tlb::new(config.l1d),
+            l2: config.l2.map(Tlb::new),
+            page_walks_instruction: 0,
+            page_walks_data: 0,
+        }
+    }
+
+    /// Translates an instruction fetch; returns `true` if the L1 ITLB hit.
+    pub fn access_instruction(&mut self, pc: u64) -> bool {
+        let l1_hit = self.l1i.access(pc);
+        if !l1_hit && self.refill(pc) {
+            self.page_walks_instruction += 1;
+        }
+        l1_hit
+    }
+
+    /// Translates a data access; returns `true` if the L1 DTLB hit.
+    pub fn access_data(&mut self, addr: u64) -> bool {
+        let l1_hit = self.l1d.access(addr);
+        if !l1_hit && self.refill(addr) {
+            self.page_walks_data += 1;
+        }
+        l1_hit
+    }
+
+    /// Returns `true` if the refill required a page walk.
+    fn refill(&mut self, addr: u64) -> bool {
+        match &mut self.l2 {
+            Some(l2) => !l2.access(addr),
+            None => true,
+        }
+    }
+
+    /// The L1 instruction TLB.
+    pub fn l1i(&self) -> &Tlb {
+        &self.l1i
+    }
+
+    /// The L1 data TLB.
+    pub fn l1d(&self) -> &Tlb {
+        &self.l1d
+    }
+
+    /// The unified L2 TLB, if configured.
+    pub fn l2(&self) -> Option<&Tlb> {
+        self.l2.as_ref()
+    }
+
+    /// Completed page walks (L2 TLB misses, or L1 misses without an L2).
+    pub fn page_walks(&self) -> u64 {
+        self.page_walks_instruction + self.page_walks_data
+    }
+
+    /// Page walks triggered by instruction fetches.
+    pub fn page_walks_instruction(&self) -> u64 {
+        self.page_walks_instruction
+    }
+
+    /// Page walks triggered by data accesses.
+    pub fn page_walks_data(&self) -> u64 {
+        self.page_walks_data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_hierarchy() -> TlbHierarchy {
+        TlbHierarchy::new(&TlbHierarchyConfig {
+            l1i: TlbConfig::new(4, 4),
+            l1d: TlbConfig::new(4, 4),
+            l2: Some(TlbConfig::new(16, 4)),
+        })
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(TlbConfig::new(16, 4));
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1fff)); // same page
+        assert!(!t.access(0x2000)); // next page
+        assert_eq!(t.misses(), 2);
+        assert_eq!(t.accesses(), 3);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // Fully-associative 4-entry TLB: a 5-page cyclic sweep always misses.
+        let mut t = Tlb::new(TlbConfig::new(4, 4));
+        for _ in 0..3 {
+            for p in 0..5u64 {
+                t.access(p * 4096);
+            }
+        }
+        assert_eq!(t.misses(), 15);
+    }
+
+    #[test]
+    fn l2_filters_page_walks() {
+        let mut h = small_hierarchy();
+        // Touch 8 data pages repeatedly: misses L1 (4 entries) but fits L2.
+        for _ in 0..5 {
+            for p in 0..8u64 {
+                h.access_data(p * 4096);
+            }
+        }
+        assert!(h.l1d().misses() > 0);
+        assert_eq!(h.page_walks(), 8); // cold L2 misses only
+    }
+
+    #[test]
+    fn no_l2_walks_on_every_l1_miss() {
+        let mut h = TlbHierarchy::new(&TlbHierarchyConfig {
+            l1i: TlbConfig::new(4, 4),
+            l1d: TlbConfig::new(4, 4),
+            l2: None,
+        });
+        for p in 0..6u64 {
+            h.access_data(p * 4096);
+        }
+        assert_eq!(h.page_walks(), 6);
+    }
+
+    #[test]
+    fn instruction_and_data_sides_are_split() {
+        let mut h = small_hierarchy();
+        h.access_instruction(0x1000);
+        assert_eq!(h.l1i().accesses(), 1);
+        assert_eq!(h.l1d().accesses(), 0);
+        h.access_data(0x1000);
+        assert_eq!(h.l1d().accesses(), 1);
+    }
+
+    #[test]
+    fn huge_pages_reduce_misses() {
+        let small = {
+            let mut t = Tlb::new(TlbConfig::new(4, 4));
+            for a in (0..(1u64 << 22)).step_by(1 << 14) {
+                t.access(a);
+            }
+            t.misses()
+        };
+        let huge = {
+            let mut t = Tlb::new(TlbConfig {
+                entries: 4,
+                associativity: 4,
+                page_bytes: 2 << 20,
+            });
+            for a in (0..(1u64 << 22)).step_by(1 << 14) {
+                t.access(a);
+            }
+            t.misses()
+        };
+        assert!(huge < small);
+    }
+}

@@ -1,0 +1,212 @@
+//! Top-down CPI-stack accounting (Yasin, ISPASS'14 — reference [12] of the
+//! paper).
+//!
+//! The paper's Figure 1 breaks each benchmark's CPI into front-end,
+//! bad-speculation, back-end (memory), and "other" components. This module
+//! computes the same decomposition analytically from event counts and the
+//! machine's latency model, with a dependency-driven overlap factor standing
+//! in for out-of-order latency hiding.
+
+use serde::{Deserialize, Serialize};
+
+use crate::counters::Counters;
+use crate::machine::MachineConfig;
+
+/// Per-instruction cycle breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CpiStack {
+    /// Issue-limited base cycles (1 / issue width).
+    pub base: f64,
+    /// Front-end stalls: I-cache misses, I-TLB walks.
+    pub frontend: f64,
+    /// Bad speculation: branch-mispredict pipeline refills.
+    pub bad_speculation: f64,
+    /// Back-end memory stalls: D-cache miss chains and D-TLB walks.
+    pub memory: f64,
+    /// Core stalls: dependencies, long-latency FP/SIMD units.
+    pub core: f64,
+}
+
+impl CpiStack {
+    /// Total cycles per instruction.
+    pub fn total(&self) -> f64 {
+        self.base + self.frontend + self.bad_speculation + self.memory + self.core
+    }
+
+    /// Computes the stack from raw events and a machine's latency model.
+    ///
+    /// Returns an all-zero stack if `counters.instructions == 0`.
+    pub fn compute(counters: &Counters, machine: &MachineConfig) -> CpiStack {
+        let n = counters.instructions as f64;
+        if n == 0.0 {
+            return CpiStack::default();
+        }
+        let lat = &machine.latency;
+        let per_inst = |events: u64| events as f64 / n;
+
+        // Split unified-L3 traffic between the two sides in proportion to
+        // their L2 miss contributions.
+        let l2_misses = counters.l2i_misses + counters.l2d_misses;
+        let ishare = if l2_misses == 0 {
+            0.0
+        } else {
+            counters.l2i_misses as f64 / l2_misses as f64
+        };
+        let l3_hits = counters.l3_accesses.saturating_sub(counters.l3_misses) as f64 / n;
+        let mem_accesses = per_inst(counters.memory_accesses);
+
+        // Out-of-order cores overlap independent misses; dependent chains
+        // expose full latency. The profile's dependency intensity interpolates
+        // between a strongly-overlapped floor and fully-exposed stalls, and
+        // the machine's overlap scale models how much of that hiding the
+        // core can actually do (in-order cores expose nearly everything).
+        let overlap =
+            ((0.15 + 0.6 * counters.dependency_intensity) * lat.overlap_scale).min(1.0);
+
+        // Front-end: L1I misses that hit L2, I-side deeper misses, I-walks.
+        let l1i_to_l2 = per_inst(counters.l1i_misses);
+        let frontend = (l1i_to_l2 * lat.l2_hit
+            + ishare * (l3_hits * lat.l3_hit + mem_accesses * lat.memory)
+            + per_inst(counters.page_walks_instruction) * lat.page_walk)
+            // Fetch stalls are partially hidden by the fetch queue.
+            * 0.45;
+
+        let bad_speculation = per_inst(counters.mispredicts) * lat.mispredict;
+
+        let dshare = 1.0 - ishare;
+        let l2d_hits = counters.l2d_accesses.saturating_sub(counters.l2d_misses) as f64 / n;
+        let memory = (l2d_hits * lat.l2_hit
+            + dshare * (l3_hits * lat.l3_hit + mem_accesses * lat.memory)
+            + per_inst(counters.page_walks_data) * lat.page_walk)
+            * overlap;
+
+        // Core-bound stalls: dependency chains plus long-latency FP/SIMD.
+        let fp_share = per_inst(counters.fp_ops);
+        let simd_share = per_inst(counters.simd_ops);
+        let core = counters.dependency_intensity * 0.38 + fp_share * 0.10 + simd_share * 0.15;
+
+        CpiStack {
+            base: 1.0 / machine.issue_width,
+            frontend,
+            bad_speculation,
+            memory,
+            core,
+        }
+    }
+
+    /// The largest non-base component and its name — "optimizing the largest
+    /// component leads to the largest improvement" (§II-B1).
+    pub fn dominant_component(&self) -> (&'static str, f64) {
+        let parts = [
+            ("frontend", self.frontend),
+            ("bad_speculation", self.bad_speculation),
+            ("memory", self.memory),
+            ("core", self.core),
+        ];
+        parts
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite components"))
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::skylake_i7_6700()
+    }
+
+    fn base_counters() -> Counters {
+        Counters {
+            instructions: 100_000,
+            freq_ghz: 3.4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_counters_give_zero_stack() {
+        let s = CpiStack::compute(&Counters::default(), &machine());
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn perfect_core_is_issue_limited() {
+        let s = CpiStack::compute(&base_counters(), &machine());
+        assert!((s.total() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredicts_increase_bad_speculation_only() {
+        let mut c = base_counters();
+        c.branches = 10_000;
+        c.mispredicts = 1_000;
+        let s = CpiStack::compute(&c, &machine());
+        assert!(s.bad_speculation > 0.0);
+        assert_eq!(s.memory, 0.0);
+        assert!((s.bad_speculation - 0.01 * 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_misses_increase_memory_component() {
+        let mut c = base_counters();
+        c.l1d_accesses = 30_000;
+        c.l1d_misses = 3_000;
+        c.l2d_accesses = 3_000;
+        c.l2d_misses = 1_000;
+        c.l3_accesses = 1_000;
+        c.l3_misses = 500;
+        c.memory_accesses = 500;
+        let s = CpiStack::compute(&c, &machine());
+        assert!(s.memory > 0.0);
+        assert_eq!(s.frontend, 0.0);
+        // More dependency intensity → less overlap → more exposed stall.
+        let mut c2 = c.clone();
+        c2.dependency_intensity = 1.0;
+        let s2 = CpiStack::compute(&c2, &machine());
+        assert!(s2.memory > s.memory);
+    }
+
+    #[test]
+    fn icache_misses_increase_frontend() {
+        let mut c = base_counters();
+        c.l1i_misses = 2_000;
+        c.l2i_accesses = 2_000;
+        c.l2i_misses = 500;
+        c.l3_accesses = 500;
+        c.l3_misses = 100;
+        c.memory_accesses = 100;
+        let s = CpiStack::compute(&c, &machine());
+        assert!(s.frontend > 0.0);
+        assert_eq!(s.memory, 0.0);
+    }
+
+    #[test]
+    fn dominant_component_identifies_max() {
+        let s = CpiStack {
+            base: 0.25,
+            frontend: 0.1,
+            bad_speculation: 0.4,
+            memory: 0.2,
+            core: 0.0,
+        };
+        assert_eq!(s.dominant_component().0, "bad_speculation");
+    }
+
+    #[test]
+    fn unified_l3_split_by_side() {
+        // All L2 misses from the I-side → memory component stays zero.
+        let mut c = base_counters();
+        c.l1i_misses = 1_000;
+        c.l2i_accesses = 1_000;
+        c.l2i_misses = 1_000;
+        c.l3_accesses = 1_000;
+        c.l3_misses = 1_000;
+        c.memory_accesses = 1_000;
+        let s = CpiStack::compute(&c, &machine());
+        assert!(s.frontend > 0.0);
+        assert_eq!(s.memory, 0.0);
+    }
+}

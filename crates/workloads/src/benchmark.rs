@@ -1,0 +1,102 @@
+//! The catalog entry type.
+
+use horizon_trace::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::suite::{ApplicationDomain, Suite};
+
+/// Source language of a benchmark (Table VIII discusses C++ benchmarks'
+/// branch behavior as a group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Language {
+    /// C.
+    C,
+    /// C++.
+    Cpp,
+    /// Fortran.
+    Fortran,
+    /// Mixed C/Fortran or other combinations.
+    Mixed,
+    /// Java (Cassandra).
+    Java,
+}
+
+/// One cataloged workload: metadata plus its statistical profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Benchmark {
+    suite: Suite,
+    domain: ApplicationDomain,
+    language: Language,
+    profile: WorkloadProfile,
+}
+
+impl Benchmark {
+    /// Creates a catalog entry.
+    pub fn new(
+        suite: Suite,
+        domain: ApplicationDomain,
+        language: Language,
+        profile: WorkloadProfile,
+    ) -> Self {
+        Benchmark {
+            suite,
+            domain,
+            language,
+            profile,
+        }
+    }
+
+    /// Benchmark name, e.g. `"605.mcf_s"`.
+    pub fn name(&self) -> &str {
+        self.profile.name()
+    }
+
+    /// Owning suite.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// Application domain (Table VIII).
+    pub fn domain(&self) -> ApplicationDomain {
+        self.domain
+    }
+
+    /// Source language.
+    pub fn language(&self) -> Language {
+        self.language
+    }
+
+    /// The statistical workload profile driving simulation.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Dynamic instruction count of the real benchmark, in billions
+    /// (Table I).
+    pub fn icount_billions(&self) -> f64 {
+        self.profile.icount_billions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SubSuite;
+
+    #[test]
+    fn accessors_round_trip() {
+        let profile = WorkloadProfile::builder("001.test").build().unwrap();
+        let b = Benchmark::new(
+            Suite::Cpu2017(SubSuite::RateInt),
+            ApplicationDomain::Compiler,
+            Language::C,
+            profile,
+        );
+        assert_eq!(b.name(), "001.test");
+        assert_eq!(b.suite(), Suite::Cpu2017(SubSuite::RateInt));
+        assert_eq!(b.domain(), ApplicationDomain::Compiler);
+        assert_eq!(b.language(), Language::C);
+        assert_eq!(b.icount_billions(), 1.0);
+    }
+}

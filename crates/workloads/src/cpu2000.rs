@@ -1,0 +1,96 @@
+//! The EDA benchmarks from SPEC CPU2000 used in the §V-D case study.
+//!
+//! The paper shows 175.vpr and 300.twolf land "close to many CPU2017
+//! applications (especially 505.mcf_r and 605.mcf_s)" in the similarity
+//! dendrogram (Fig 13): placement-and-routing is pointer-chasing over
+//! mid-size graphs with data-dependent branches — an mcf-shaped signature.
+
+use crate::benchmark::{Benchmark, Language};
+use crate::spec::{Br, MemSpec, Spec};
+use crate::suite::{ApplicationDomain as D, Suite};
+
+/// FPGA place-and-route.
+pub fn vpr() -> Benchmark {
+    Spec {
+        name: "175.vpr",
+        icount: 110.0,
+        loads: 22.0,
+        stores: 8.0,
+        branches: 14.0,
+        fp: 0.05,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 35.0,
+            l2_mpki: 14.0,
+            l3_mpki: 3.5,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: false,
+            dram_mb: 256,
+        },
+        br: Br::hard(0.65, 0.84),
+        code_kb: 384,
+        hot_kb: 22,
+        kernel: 0.02,
+        dep: 0.55,
+    }
+    .build(Suite::Cpu2000, D::Eda, Language::C)
+}
+
+/// Standard-cell placement and global routing.
+pub fn twolf() -> Benchmark {
+    Spec {
+        name: "300.twolf",
+        icount: 95.0,
+        loads: 24.0,
+        stores: 7.0,
+        branches: 15.0,
+        fp: 0.03,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 30.0,
+            l2_mpki: 12.0,
+            l3_mpki: 3.0,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: false,
+            dram_mb: 128,
+        },
+        br: Br::hard(0.62, 0.83),
+        code_kb: 256,
+        hot_kb: 20,
+        kernel: 0.02,
+        dep: 0.55,
+    }
+    .build(Suite::Cpu2000, D::Eda, Language::C)
+}
+
+/// Both EDA benchmarks.
+pub fn all() -> Vec<Benchmark> {
+    vec![vpr(), twolf()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eda_benchmarks_are_cpu2000_eda() {
+        for b in all() {
+            assert_eq!(b.suite(), Suite::Cpu2000);
+            assert_eq!(b.domain(), D::Eda);
+        }
+    }
+
+    #[test]
+    fn eda_profiles_resemble_mcf() {
+        // The §V-D claim rests on EDA having mcf-like knobs: hard branches,
+        // high taken fraction, significant beyond-L1 traffic.
+        for b in all() {
+            assert!(b.profile().branches().regularity < 0.85, "{}", b.name());
+            assert!(b.profile().branches().taken_fraction > 0.55, "{}", b.name());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Emerging workloads for the balance case studies of §V-E/§V-F: graph
+//! analytics (pagerank and connected components on two real-world-graph
+//! shapes) and a NoSQL database (Cassandra under YCSB workloads A and C).
+
+use crate::benchmark::{Benchmark, Language};
+use crate::spec::{Br, MemSpec, Spec};
+use crate::suite::{ApplicationDomain as D, Suite};
+
+/// Pagerank on a web-crawl-shaped graph.
+///
+/// §V-F: pagerank "has distinct program characteristics with both graph
+/// inputs, having high linkage distance due to high L1 TLB activity caused
+/// by random data requests" — huge random footprints with page-grain
+/// sparsity.
+pub fn pagerank_web() -> Benchmark {
+    Spec {
+        name: "pr-web",
+        icount: 300.0,
+        loads: 33.0,
+        stores: 8.0,
+        branches: 12.0,
+        fp: 0.10,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 60.0,
+            l2_mpki: 30.0,
+            l3_mpki: 16.0,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.2,
+            tlb_heavy: true,
+            dram_mb: 3072,
+        },
+        br: Br::easy(0.68),
+        code_kb: 256,
+        hot_kb: 12,
+        kernel: 0.03,
+        dep: 0.6,
+    }
+    .build(Suite::Graph, D::GraphAnalytics, Language::Cpp)
+}
+
+/// Pagerank on a road-network-shaped graph (higher diameter, similar
+/// random-access TLB pressure).
+pub fn pagerank_road() -> Benchmark {
+    Spec {
+        name: "pr-road",
+        icount: 260.0,
+        loads: 31.0,
+        stores: 8.0,
+        branches: 13.0,
+        fp: 0.10,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 55.0,
+            l2_mpki: 28.0,
+            l3_mpki: 14.0,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.18,
+            tlb_heavy: true,
+            dram_mb: 1536,
+        },
+        br: Br::easy(0.66),
+        code_kb: 256,
+        hot_kb: 12,
+        kernel: 0.03,
+        dep: 0.6,
+    }
+    .build(Suite::Graph, D::GraphAnalytics, Language::Cpp)
+}
+
+/// Connected components on the web graph.
+///
+/// §V-F: cc "has very similar hardware performance behavior to SPEC
+/// benchmarks, such as the speed and rate versions of leela, deepsjeng and
+/// xz" — mostly-resident label arrays with hard data-dependent branches.
+pub fn connected_components_web() -> Benchmark {
+    Spec {
+        name: "cc-web",
+        icount: 150.0,
+        loads: 17.0,
+        stores: 6.0,
+        branches: 10.0,
+        fp: 0.0,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 12.0,
+            l2_mpki: 5.0,
+            l3_mpki: 1.4,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: false,
+            dram_mb: 256,
+        },
+        br: Br::hard(0.5, 0.80),
+        code_kb: 256,
+        hot_kb: 18,
+        kernel: 0.02,
+        dep: 0.5,
+    }
+    .build(Suite::Graph, D::GraphAnalytics, Language::Cpp)
+}
+
+/// Connected components on the road graph.
+pub fn connected_components_road() -> Benchmark {
+    Spec {
+        name: "cc-road",
+        icount: 130.0,
+        loads: 16.0,
+        stores: 6.0,
+        branches: 11.0,
+        fp: 0.0,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 11.0,
+            l2_mpki: 4.5,
+            l3_mpki: 1.3,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: false,
+            dram_mb: 192,
+        },
+        br: Br::hard(0.5, 0.79),
+        code_kb: 256,
+        hot_kb: 18,
+        kernel: 0.02,
+        dep: 0.5,
+    }
+    .build(Suite::Graph, D::GraphAnalytics, Language::Cpp)
+}
+
+/// Cassandra running YCSB workload A (update-heavy).
+///
+/// §V-E: the databases differ from all of CPU2017 "primarily caused by
+/// their instruction cache and instruction TLB performance" — a huge code
+/// footprint (JIT-compiled Java plus kernel I/O paths) that no SPEC
+/// profile approaches.
+pub fn cassandra_ycsb_a() -> Benchmark {
+    Spec {
+        name: "cas-WA",
+        icount: 500.0,
+        loads: 26.0,
+        stores: 12.0,
+        branches: 17.0,
+        fp: 0.0,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 30.0,
+            l2_mpki: 12.0,
+            l3_mpki: 3.0,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: true,
+            dram_mb: 1024,
+        },
+        br: Br::moderate(0.6),
+        code_kb: 16384,
+        hot_kb: 512,
+        kernel: 0.22,
+        dep: 0.45,
+    }
+    .build(Suite::Database, D::DataServing, Language::Java)
+}
+
+/// Cassandra running YCSB workload C (read-only).
+pub fn cassandra_ycsb_c() -> Benchmark {
+    Spec {
+        name: "cas-WC",
+        icount: 450.0,
+        loads: 29.0,
+        stores: 7.0,
+        branches: 18.0,
+        fp: 0.0,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 28.0,
+            l2_mpki: 11.0,
+            l3_mpki: 2.8,
+            wide: 0.0,
+            dense: 0.0,
+            line: 0.0,
+            tlb_heavy: true,
+            dram_mb: 1024,
+        },
+        br: Br::moderate(0.62),
+        code_kb: 16384,
+        hot_kb: 448,
+        kernel: 0.20,
+        dep: 0.45,
+    }
+    .build(Suite::Database, D::DataServing, Language::Java)
+}
+
+/// All emerging workloads (4 graph + 2 database).
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        pagerank_web(),
+        pagerank_road(),
+        connected_components_web(),
+        connected_components_road(),
+        cassandra_ycsb_a(),
+        cassandra_ycsb_c(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_code_footprint_dwarfs_spec() {
+        // §V-E hinges on I-side pressure: the hot code regions here exceed
+        // every CPU2017 hot region by an order of magnitude.
+        let max_spec_hot = crate::cpu2017::all()
+            .iter()
+            .map(|b| b.profile().code().hot_bytes)
+            .max()
+            .unwrap();
+        for db in [cassandra_ycsb_a(), cassandra_ycsb_c()] {
+            assert!(db.profile().code().hot_bytes >= 8 * max_spec_hot, "{}", db.name());
+            assert!(db.profile().kernel_fraction() > 0.15);
+        }
+    }
+
+    #[test]
+    fn pagerank_has_huge_random_footprint() {
+        for pr in [pagerank_web(), pagerank_road()] {
+            assert!(
+                pr.profile()
+                    .memory()
+                    .regions
+                    .iter()
+                    .any(|r| r.bytes >= 1 << 30),
+                "{}",
+                pr.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cc_resembles_spec_int() {
+        // Hard branches + mostly-resident data, like leela/deepsjeng/xz.
+        for cc in [connected_components_web(), connected_components_road()] {
+            assert!(cc.profile().branches().regularity < 0.85);
+            let resident: f64 = cc
+                .profile()
+                .memory()
+                .regions
+                .iter()
+                .filter(|r| r.bytes <= 16 << 10)
+                .map(|r| r.weight)
+                .sum();
+            assert!(resident > 0.7, "{}", cc.name());
+        }
+    }
+
+    #[test]
+    fn six_workloads_with_suites() {
+        let all = all();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all.iter().filter(|b| b.suite() == Suite::Graph).count(), 4);
+        assert_eq!(
+            all.iter().filter(|b| b.suite() == Suite::Database).count(),
+            2
+        );
+    }
+}

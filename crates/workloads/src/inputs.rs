@@ -1,0 +1,257 @@
+//! Input-set variants (§IV-C, Figures 7/8, Table VII).
+//!
+//! Several CPU2017 benchmarks ship multiple reference inputs; a reportable
+//! run aggregates all of them. Each variant here is a controlled
+//! perturbation of the base profile, and carries a runtime weight (its
+//! share of the aggregate run) used to form the "aggregated benchmark" the
+//! paper compares against when picking the representative input.
+//!
+//! The perturbation magnitudes encode the paper's finding that CPU2017
+//! input sets are far more uniform than CPU2006's: "the five different
+//! input sets of 502.gcc_r are clustered together … in contrast to more
+//! pronounced variations between the various inputs for gcc in CPU2006".
+
+use horizon_trace::WorkloadProfile;
+
+use crate::benchmark::Benchmark;
+
+/// One input set: a profile variant plus its share of the aggregate run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSet {
+    /// Variant profile, named `<benchmark>.is<k>` (1-based).
+    pub profile: WorkloadProfile,
+    /// Runtime weight within a reportable run (sums to 1 per benchmark).
+    pub weight: f64,
+}
+
+/// Perturbation recipe: relative nudges applied to a base profile.
+#[derive(Debug, Clone, Copy)]
+struct Nudge {
+    /// Added to the load fraction (and removed from int ops).
+    loads: f64,
+    /// Scales every non-resident region weight (1.0 = unchanged).
+    memory_scale: f64,
+    /// Added to the taken fraction.
+    taken: f64,
+    /// Added to dependency intensity.
+    dep: f64,
+}
+
+impl Nudge {
+    const ZERO: Nudge = Nudge {
+        loads: 0.0,
+        memory_scale: 1.0,
+        taken: 0.0,
+        dep: 0.0,
+    };
+
+    fn scaled(self, f: f64) -> Nudge {
+        Nudge {
+            loads: self.loads * f,
+            memory_scale: 1.0 + (self.memory_scale - 1.0) * f,
+            taken: self.taken * f,
+            dep: self.dep * f,
+        }
+    }
+
+    fn apply(&self, base: &WorkloadProfile, name: String) -> WorkloadProfile {
+        let mix = base.mix();
+        let regions: Vec<horizon_trace::Region> = base
+            .memory()
+            .regions
+            .iter()
+            .map(|r| {
+                let mut r = *r;
+                if r.bytes > 16 << 10 {
+                    r.weight *= self.memory_scale;
+                }
+                r
+            })
+            .collect();
+        let mut br = *base.branches();
+        br.taken_fraction = (br.taken_fraction + self.taken).clamp(0.05, 0.95);
+        WorkloadProfile::builder(name)
+            .icount_billions(base.icount_billions())
+            .loads((mix.loads + self.loads).clamp(0.01, 0.6))
+            .stores(mix.stores)
+            .branches(mix.branches)
+            .fp(mix.fp)
+            .simd(mix.simd)
+            .regions(regions)
+            .branch_behavior(br)
+            .code_model(*base.code())
+            .kernel_fraction(base.kernel_fraction())
+            .dependency_intensity((base.dependency_intensity() + self.dep).clamp(0.0, 1.0))
+            .build()
+            .expect("perturbed profile stays valid")
+    }
+}
+
+/// Recipe table: (benchmark, per-input (nudge scale, weight)).
+///
+/// Input 1 carries the largest runtime share for every benchmark except
+/// x264, whose third input dominates — this is what makes Table VII come
+/// out of the closest-to-aggregate selection.
+fn recipe(name: &str) -> Option<(&'static [(f64, f64)], Nudge)> {
+    // Base nudge direction per family; per-input scale multiplies it.
+    const SMALL: Nudge = Nudge {
+        loads: 0.010,
+        memory_scale: 1.10,
+        taken: 0.010,
+        dep: 0.02,
+    };
+    const MEDIUM: Nudge = Nudge {
+        loads: 0.025,
+        memory_scale: 1.30,
+        taken: 0.025,
+        dep: 0.05,
+    };
+    // (scale, weight) per input set, 1-based order.
+    const PERL: [(f64, f64); 3] = [(0.0, 0.5), (1.0, 0.3), (-1.0, 0.2)];
+    const GCC_R: [(f64, f64); 5] = [
+        (0.8, 0.15),
+        (0.0, 0.35),
+        (-0.7, 0.2),
+        (0.5, 0.15),
+        (-0.4, 0.15),
+    ];
+    const GCC_S: [(f64, f64); 2] = [(0.0, 0.7), (1.0, 0.3)];
+    const X264: [(f64, f64); 3] = [(1.0, 0.25), (-1.0, 0.25), (0.0, 0.5)];
+    const XZ: [(f64, f64); 2] = [(0.0, 0.65), (1.0, 0.35)];
+    const BWAVES: [(f64, f64); 2] = [(0.0, 0.6), (1.0, 0.4)];
+    match name {
+        "500.perlbench_r" | "600.perlbench_s" => Some((&PERL, SMALL)),
+        "502.gcc_r" => Some((&GCC_R, SMALL)),
+        "602.gcc_s" => Some((&GCC_S, SMALL)),
+        "525.x264_r" | "625.x264_s" => Some((&X264, MEDIUM)),
+        "557.xz_r" | "657.xz_s" => Some((&XZ, MEDIUM)),
+        "503.bwaves_r" | "603.bwaves_s" => Some((&BWAVES, MEDIUM)),
+        _ => None,
+    }
+}
+
+/// The input sets of a benchmark, in `specinvoke` order. Single-input
+/// benchmarks return one entry with weight 1 and the unmodified profile.
+pub fn input_sets(benchmark: &Benchmark) -> Vec<InputSet> {
+    match recipe(benchmark.name()) {
+        None => vec![InputSet {
+            profile: benchmark.profile().clone(),
+            weight: 1.0,
+        }],
+        Some((table, base_nudge)) => table
+            .iter()
+            .enumerate()
+            .map(|(i, &(scale, weight))| {
+                let nudge = if scale == 0.0 {
+                    Nudge::ZERO
+                } else {
+                    base_nudge.scaled(scale)
+                };
+                InputSet {
+                    profile: nudge.apply(
+                        benchmark.profile(),
+                        format!("{}.is{}", benchmark.name(), i + 1),
+                    ),
+                    weight,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// True if the benchmark has more than one reference input.
+pub fn has_multiple_inputs(benchmark: &Benchmark) -> bool {
+    recipe(benchmark.name()).is_some()
+}
+
+/// The aggregated pseudo-benchmark of a reportable run: the runtime-weighted
+/// blend of all input sets (§IV-C).
+pub fn aggregate_profile(benchmark: &Benchmark) -> WorkloadProfile {
+    let sets = input_sets(benchmark);
+    let parts: Vec<(&WorkloadProfile, f64)> =
+        sets.iter().map(|s| (&s.profile, s.weight)).collect();
+    WorkloadProfile::blend(format!("{}.aggregate", benchmark.name()), &parts)
+        .expect("catalog input sets are blendable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu2017;
+
+    fn find(name: &str) -> Benchmark {
+        cpu2017::all().into_iter().find(|b| b.name() == name).unwrap()
+    }
+
+    #[test]
+    fn input_counts_match_the_paper() {
+        // §IV-C: "502.gcc_r and 525.x264_r benchmarks have five and three
+        // different input sets, respectively."
+        assert_eq!(input_sets(&find("502.gcc_r")).len(), 5);
+        assert_eq!(input_sets(&find("525.x264_r")).len(), 3);
+        assert_eq!(input_sets(&find("500.perlbench_r")).len(), 3);
+        assert_eq!(input_sets(&find("557.xz_r")).len(), 2);
+        assert_eq!(input_sets(&find("503.bwaves_r")).len(), 2);
+        // Single-input benchmark.
+        assert_eq!(input_sets(&find("505.mcf_r")).len(), 1);
+        assert!(!has_multiple_inputs(&find("505.mcf_r")));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for b in cpu2017::all() {
+            let total: f64 = input_sets(&b).iter().map(|s| s.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn variant_names_are_suffixed() {
+        let sets = input_sets(&find("502.gcc_r"));
+        assert_eq!(sets[0].profile.name(), "502.gcc_r.is1");
+        assert_eq!(sets[4].profile.name(), "502.gcc_r.is5");
+    }
+
+    #[test]
+    fn variants_differ_but_mildly_for_gcc() {
+        let sets = input_sets(&find("502.gcc_r"));
+        let base = find("502.gcc_r");
+        for s in &sets[1..] {
+            assert_ne!(&s.profile, base.profile());
+            // gcc inputs cluster tightly: loads shift below 1.5 points.
+            let d = (s.profile.mix().loads - base.profile().mix().loads).abs();
+            assert!(d < 0.015, "{d}");
+        }
+    }
+
+    #[test]
+    fn x264_inputs_spread_wider_than_gcc() {
+        let gcc = input_sets(&find("502.gcc_r"));
+        let x264 = input_sets(&find("525.x264_r"));
+        let spread = |sets: &[InputSet]| -> f64 {
+            let loads: Vec<f64> = sets.iter().map(|s| s.profile.mix().loads).collect();
+            loads.iter().cloned().fold(f64::MIN, f64::max)
+                - loads.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(spread(&x264) > spread(&gcc));
+    }
+
+    #[test]
+    fn aggregate_is_blend_of_inputs() {
+        let b = find("525.x264_r");
+        let agg = aggregate_profile(&b);
+        assert_eq!(agg.name(), "525.x264_r.aggregate");
+        let sets = input_sets(&b);
+        let expect: f64 = sets
+            .iter()
+            .map(|s| s.profile.mix().loads * s.weight)
+            .sum();
+        assert!((agg.mix().loads - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = find("525.x264_r");
+        assert_eq!(input_sets(&b), input_sets(&b));
+    }
+}

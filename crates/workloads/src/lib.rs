@@ -1,0 +1,68 @@
+//! Calibrated workload catalog for the SPEC CPU2017 characterization study.
+//!
+//! This crate is the stand-in for the benchmark binaries and inputs the
+//! paper measures. Every workload is a [`Benchmark`]: metadata (suite,
+//! application domain, language) plus a statistical [`WorkloadProfile`]
+//! whose parameters are calibrated from the paper's published numbers —
+//! Table I (instruction counts, mixes, CPI on Skylake), Table II (MPKI
+//! ranges), and the qualitative statements of §II, §IV and §V. Comments on
+//! each profile cite the claim being encoded.
+//!
+//! Catalogs provided:
+//!
+//! * [`cpu2017`] — all 43 CPU2017 benchmarks in their four sub-suites,
+//! * [`cpu2006`] — the CPU2006 benchmarks needed for the balance study,
+//! * [`cpu2000`] — the two EDA benchmarks (175.vpr, 300.twolf),
+//! * [`emerging`] — graph analytics (pagerank, connected components × two
+//!   graphs) and database (Cassandra/YCSB) workloads,
+//! * [`inputs`] — per-benchmark input-set variants (§IV-C),
+//! * [`systems`] — a synthetic database of commercial systems standing in
+//!   for SPEC's published results (§IV-B).
+//!
+//! [`WorkloadProfile`]: horizon_trace::WorkloadProfile
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+mod spec;
+mod suite;
+
+pub mod cpu2000;
+pub mod cpu2006;
+pub mod cpu2017;
+pub mod emerging;
+pub mod inputs;
+pub mod systems;
+
+pub use benchmark::{Benchmark, Language};
+pub use suite::{ApplicationDomain, SubSuite, Suite};
+
+/// Every workload in the catalog: CPU2017, CPU2006, EDA, graph, database.
+pub fn full_catalog() -> Vec<Benchmark> {
+    let mut all = cpu2017::all();
+    all.extend(cpu2006::all());
+    all.extend(cpu2000::all());
+    all.extend(emerging::all());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_catalog_has_unique_names() {
+        let all = full_catalog();
+        let names: std::collections::HashSet<_> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn full_catalog_counts() {
+        assert_eq!(cpu2017::all().len(), 43);
+        assert!(cpu2006::all().len() >= 20);
+        assert_eq!(cpu2000::all().len(), 2);
+        assert_eq!(emerging::all().len(), 6);
+    }
+}

@@ -1,0 +1,329 @@
+//! Compact benchmark specifications and the profile builder behind the
+//! catalogs.
+//!
+//! Each benchmark is written as a [`Spec`] row: the Table I numbers verbatim
+//! (instruction count, mix percentages), plus behavior knobs chosen to
+//! reproduce the paper's counter-level observations. The conventions below
+//! are relative to the Skylake-class geometry the paper characterizes on
+//! (32 KiB L1D, 256 KiB L2, 8 MiB L3).
+
+use horizon_trace::{BranchBehavior, CodeModel, ProfileError, Region, WorkloadProfile};
+
+use crate::benchmark::{Benchmark, Language};
+use crate::suite::{ApplicationDomain, Suite};
+
+/// Calibrated data-memory behavior.
+///
+/// Instead of hand-tuned region weights, a spec carries *target miss rates*
+/// on the paper's Skylake-class geometry (32 KiB L1D, 256 KiB L2, 8 MiB L3);
+/// region weights are derived mechanically. On other machines the same
+/// regions produce different miss rates — which is the whole point of the
+/// paper's multi-machine methodology.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemSpec {
+    /// Target L1D misses per kilo-instruction (Skylake).
+    pub l1_mpki: f64,
+    /// Target data-side L2 MPKI (≤ `l1_mpki`).
+    pub l2_mpki: f64,
+    /// Target L3 MPKI (≤ `l2_mpki`).
+    pub l3_mpki: f64,
+    /// Fraction of the L1-miss budget carried by wide-stride (320 B) sweeps
+    /// that defeat next-line prefetch. Their ~26 KiB line footprint misses a
+    /// 32 KiB L1 but fits 64 KiB L1s — the fotonik3d/cactuBSSN signature
+    /// behind the paper's L1D sensitivity classes (Table IX).
+    pub wide: f64,
+    /// Share of accesses in dense (8 B stride) streams: prefetch-friendly.
+    pub dense: f64,
+    /// Share of accesses in line (64 B stride) streams: hidden only by
+    /// hardware prefetchers.
+    pub line: f64,
+    /// Make the L3-class region page-sparse (4 MiB) to stress D-TLBs
+    /// (cactuBSSN/xz/povray, Table IX).
+    pub tlb_heavy: bool,
+    /// Size of the DRAM-class region in MiB (drives page-walk pressure and
+    /// distinguishes rate/speed footprints, §IV-D).
+    pub dram_mb: u64,
+}
+
+impl MemSpec {
+    /// Cache-resident behavior (exchange2-like).
+    pub const RESIDENT: MemSpec = MemSpec {
+        l1_mpki: 0.5,
+        l2_mpki: 0.1,
+        l3_mpki: 0.02,
+        wide: 0.0,
+        dense: 0.0,
+        line: 0.0,
+        tlb_heavy: false,
+        dram_mb: 16,
+    };
+
+    fn regions(&self, acc_ki: f64) -> Vec<Region> {
+        let acc = acc_ki.max(1.0);
+        let mut regions = Vec::new();
+        // DRAM-class share: misses everywhere.
+        let w_dram = (self.l3_mpki / acc).clamp(0.0, 0.35);
+        // L3-class share: misses L2, hits L3 (~95% L2 miss rate observed).
+        let w_l3 = (((self.l2_mpki - self.l3_mpki).max(0.0)) / acc / 0.95).clamp(0.0, 0.4);
+        // L1-miss budget split between wide streams (miss rate ~1) and
+        // random L2-class sets (miss rate ~0.9).
+        let budget = ((self.l1_mpki - self.l2_mpki).max(0.0)) / acc;
+        let w_wide = (budget * self.wide).clamp(0.0, 0.6);
+        let w_l2 = (budget * (1.0 - self.wide) / 0.9).clamp(0.0, 0.6);
+        let resident =
+            (1.0 - self.dense - self.line - w_wide - w_l2 - w_l3 - w_dram).max(0.02);
+        regions.push(Region::random(16 << 10, resident));
+        if self.dense > 0.0 {
+            regions.push(Region::streaming(2 << 20, self.dense, 8));
+        }
+        if self.line > 0.0 {
+            regions.push(Region::streaming(1 << 20, self.line, 64));
+        }
+        if w_wide > 0.0 {
+            // Stride of five lines (co-prime with every set count) so the
+            // 560 touched lines spread across all sets, and a region size
+            // that is an exact stride multiple so the sweep phase never
+            // drifts. 560 lines swamp a 32 KiB L1 (64 sets × 8 ways) but
+            // mostly fit a 64 KiB 2-way L1 (512 sets) — the capacity
+            // sensitivity behind Table IX's fotonik3d entry.
+            regions.push(Region::streaming(320 * 560, w_wide, 320));
+        }
+        if w_l2 > 0.0 {
+            regions.push(Region::random(96 << 10, w_l2));
+        }
+        if w_l3 > 0.0 {
+            let kb: u64 = if self.tlb_heavy { 4096 } else { 1536 };
+            regions.push(Region::random(kb << 10, w_l3));
+        }
+        if w_dram > 0.0 && self.dram_mb > 0 {
+            regions.push(Region::random(self.dram_mb << 20, w_dram));
+        }
+        regions
+    }
+}
+
+/// Control-flow knobs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Br {
+    /// Fraction of taken branches.
+    pub taken: f64,
+    /// Fraction of easy (strongly biased) branch sites; the remainder are
+    /// hard (patterns and coins per `pattern`).
+    pub regularity: f64,
+    /// Bias spread of the hard sites.
+    pub spread: f64,
+    /// Static branch-site budget.
+    pub sites: usize,
+    /// Share of hard sites with learnable rotation patterns.
+    pub pattern: f64,
+}
+
+impl Br {
+    /// Well-predicted control flow (most FP codes): ~98.5% easy sites.
+    pub fn easy(taken: f64) -> Br {
+        Br {
+            taken,
+            regularity: 0.985,
+            spread: 0.2,
+            sites: 4096,
+            pattern: 0.5,
+        }
+    }
+
+    /// Typical integer control flow.
+    pub fn moderate(taken: f64) -> Br {
+        Br {
+            taken,
+            regularity: 0.98,
+            spread: 0.5,
+            sites: 8192,
+            pattern: 0.5,
+        }
+    }
+
+    /// Hard-to-predict control flow (leela, mcf, xz): many coin-like sites.
+    pub fn hard(taken: f64, regularity: f64) -> Br {
+        Br {
+            taken,
+            regularity,
+            spread: 0.3,
+            sites: 8192,
+            pattern: 0.5,
+        }
+    }
+}
+
+/// One catalog row.
+#[derive(Debug, Clone)]
+pub(crate) struct Spec {
+    pub name: &'static str,
+    /// Dynamic instruction count in billions (Table I).
+    pub icount: f64,
+    /// Loads / stores / branches as *percent* (Table I).
+    pub loads: f64,
+    pub stores: f64,
+    pub branches: f64,
+    /// Scalar-FP and SIMD fractions (0..1).
+    pub fp: f64,
+    pub simd: f64,
+    pub mem: MemSpec,
+    pub br: Br,
+    /// Total code footprint KiB / hot-code KiB.
+    pub code_kb: u64,
+    pub hot_kb: u64,
+    pub kernel: f64,
+    /// Dependency intensity (0..1): drives core-bound stalls and memory
+    /// stall overlap.
+    pub dep: f64,
+}
+
+impl Spec {
+    /// Builds the profile and wraps it as a catalog entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent — catalog rows are
+    /// static data validated by tests, so failing loudly is correct.
+    pub fn build(
+        &self,
+        suite: Suite,
+        domain: ApplicationDomain,
+        language: Language,
+    ) -> Benchmark {
+        let profile = self
+            .profile()
+            .unwrap_or_else(|e| panic!("invalid catalog spec {}: {e}", self.name));
+        Benchmark::new(suite, domain, language, profile)
+    }
+
+    /// Builds just the workload profile.
+    pub fn profile(&self) -> Result<WorkloadProfile, ProfileError> {
+        let acc_ki = (self.loads + self.stores) * 10.0;
+        let regions: Vec<Region> = self.mem.regions(acc_ki);
+        WorkloadProfile::builder(self.name)
+            .icount_billions(self.icount)
+            .loads(self.loads / 100.0)
+            .stores(self.stores / 100.0)
+            .branches(self.branches / 100.0)
+            .fp(self.fp)
+            .simd(self.simd)
+            .regions(regions)
+            .branch_behavior(BranchBehavior {
+                taken_fraction: self.br.taken,
+                regularity: self.br.regularity,
+                pattern_share: self.br.pattern,
+                static_branches: self.br.sites,
+                bias_spread: self.br.spread,
+            })
+            .code_model(CodeModel {
+                footprint_bytes: self.code_kb << 10,
+                hot_fraction: 0.995,
+                hot_bytes: self.hot_kb << 10,
+            })
+            .kernel_fraction(self.kernel)
+            .dependency_intensity(self.dep)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SubSuite;
+
+    const TOY: Spec = Spec {
+        name: "000.toy",
+        icount: 100.0,
+        loads: 25.0,
+        stores: 10.0,
+        branches: 15.0,
+        fp: 0.0,
+        simd: 0.0,
+        mem: MemSpec {
+            l1_mpki: 20.0,
+            l2_mpki: 5.0,
+            l3_mpki: 1.0,
+            wide: 0.25,
+            dense: 0.1,
+            line: 0.05,
+            tlb_heavy: false,
+            dram_mb: 64,
+        },
+        br: Br {
+            taken: 0.5,
+            regularity: 0.9,
+            spread: 0.3,
+            sites: 1024,
+            pattern: 0.5,
+        },
+        code_kb: 512,
+        hot_kb: 16,
+        kernel: 0.02,
+        dep: 0.3,
+    };
+
+    #[test]
+    fn spec_builds_valid_profile() {
+        let p = TOY.profile().unwrap();
+        assert_eq!(p.name(), "000.toy");
+        assert!((p.mix().loads - 0.25).abs() < 1e-12);
+        assert_eq!(p.icount_billions(), 100.0);
+        // All seven region classes materialize for this spec.
+        assert_eq!(p.memory().regions.len(), 7);
+    }
+
+    #[test]
+    fn spec_builds_benchmark() {
+        let b = TOY.build(
+            Suite::Cpu2017(SubSuite::SpeedInt),
+            ApplicationDomain::Other,
+            Language::C,
+        );
+        assert_eq!(b.name(), "000.toy");
+    }
+
+    #[test]
+    fn region_weights_scale_with_targets() {
+        // Doubling the L3 target doubles the DRAM-class weight.
+        let mut hot = TOY.clone();
+        hot.mem.l3_mpki = 2.0;
+        let base = TOY.profile().unwrap();
+        let hotter = hot.profile().unwrap();
+        let dram_weight = |p: &horizon_trace::WorkloadProfile| {
+            p.memory()
+                .regions
+                .iter()
+                .filter(|r| r.bytes >= 32 << 20 && matches!(r.pattern, horizon_trace::AccessPattern::Random))
+                .map(|r| r.weight)
+                .sum::<f64>()
+        };
+        assert!((dram_weight(&hotter) / dram_weight(&base) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resident_spec_has_one_dominant_region() {
+        let mut spec = TOY.clone();
+        spec.mem = MemSpec::RESIDENT;
+        let p = spec.profile().unwrap();
+        let resident_weight = p.memory().regions[0].weight;
+        assert!(resident_weight > 0.95);
+    }
+
+    #[test]
+    fn tlb_heavy_enlarges_l3_class_region() {
+        let mut heavy = TOY.clone();
+        heavy.mem.tlb_heavy = true;
+        let p = heavy.profile().unwrap();
+        assert!(p
+            .memory()
+            .regions
+            .iter()
+            .any(|r| r.bytes == 4 << 20));
+    }
+
+    #[test]
+    fn br_presets_are_ordered_by_difficulty() {
+        assert!(Br::easy(0.5).regularity > Br::moderate(0.5).regularity);
+        assert!(Br::moderate(0.5).regularity > Br::hard(0.5, 0.6).regularity);
+    }
+}

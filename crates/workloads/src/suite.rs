@@ -1,0 +1,182 @@
+//! Suite and application-domain taxonomies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Suite {
+    /// SPEC CPU2017, in one of its four sub-suites.
+    Cpu2017(SubSuite),
+    /// SPEC CPU2006 integer.
+    Cpu2006Int,
+    /// SPEC CPU2006 floating point.
+    Cpu2006Fp,
+    /// SPEC CPU2000 (only the EDA benchmarks are cataloged).
+    Cpu2000,
+    /// Graph-analytics workloads (§V-F).
+    Graph,
+    /// Database workloads: Cassandra under YCSB (§V-E).
+    Database,
+}
+
+impl Suite {
+    /// True for any SPEC CPU2017 sub-suite.
+    pub fn is_cpu2017(&self) -> bool {
+        matches!(self, Suite::Cpu2017(_))
+    }
+
+    /// True for either CPU2006 sub-suite.
+    pub fn is_cpu2006(&self) -> bool {
+        matches!(self, Suite::Cpu2006Int | Suite::Cpu2006Fp)
+    }
+}
+
+/// The four CPU2017 sub-suites (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubSuite {
+    /// SPECspeed Integer (10 benchmarks, `6xx_s`).
+    SpeedInt,
+    /// SPECrate Integer (10 benchmarks, `5xx_r`).
+    RateInt,
+    /// SPECspeed Floating Point (10 benchmarks, `6xx_s`).
+    SpeedFp,
+    /// SPECrate Floating Point (13 benchmarks, `5xx_r`).
+    RateFp,
+}
+
+impl SubSuite {
+    /// All four sub-suites in Table I order.
+    pub fn all() -> [SubSuite; 4] {
+        [
+            SubSuite::SpeedInt,
+            SubSuite::RateInt,
+            SubSuite::SpeedFp,
+            SubSuite::RateFp,
+        ]
+    }
+
+    /// True for the integer sub-suites.
+    pub fn is_int(&self) -> bool {
+        matches!(self, SubSuite::SpeedInt | SubSuite::RateInt)
+    }
+
+    /// True for the speed sub-suites.
+    pub fn is_speed(&self) -> bool {
+        matches!(self, SubSuite::SpeedInt | SubSuite::SpeedFp)
+    }
+}
+
+impl std::fmt::Display for SubSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SubSuite::SpeedInt => "SPECspeed INT",
+            SubSuite::RateInt => "SPECrate INT",
+            SubSuite::SpeedFp => "SPECspeed FP",
+            SubSuite::RateFp => "SPECrate FP",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Application domains, following the paper's Table VIII (plus the extra
+/// domains used in the balance study of §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ApplicationDomain {
+    /// Compilers and interpreters (gcc, perlbench).
+    Compiler,
+    /// Video and general compression (x264, xz, bzip2).
+    Compression,
+    /// Artificial intelligence / game search (deepsjeng, leela, exchange2).
+    ArtificialIntelligence,
+    /// Combinatorial optimization (mcf).
+    CombinatorialOptimization,
+    /// Discrete-event simulation (omnetpp).
+    DiscreteEventSimulation,
+    /// Document processing (xalancbmk).
+    DocumentProcessing,
+    /// Physics (cactuBSSN, fotonik3d).
+    Physics,
+    /// Fluid dynamics (lbm, bwaves).
+    FluidDynamics,
+    /// Molecular dynamics / life sciences (namd, nab).
+    MolecularDynamics,
+    /// Visualization and rendering (povray, blender, imagick).
+    Visualization,
+    /// Biomedical imaging (parest).
+    Biomedical,
+    /// Climatology (wrf, cam4, pop2, roms).
+    Climatology,
+    /// Speech recognition (483.sphinx3 — removed after CPU2006).
+    SpeechRecognition,
+    /// Linear programming (450.soplex — removed after CPU2006).
+    LinearProgramming,
+    /// Quantum chemistry (416.gamess, 465.tonto — removed after CPU2006).
+    QuantumChemistry,
+    /// Electronic design automation (175.vpr, 300.twolf from CPU2000).
+    Eda,
+    /// Graph analytics (pagerank, connected components).
+    GraphAnalytics,
+    /// Data serving / NoSQL databases (Cassandra).
+    DataServing,
+    /// Other domains without a dedicated bucket.
+    Other,
+}
+
+impl std::fmt::Display for ApplicationDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ApplicationDomain::Compiler => "Compiler",
+            ApplicationDomain::Compression => "Compression",
+            ApplicationDomain::ArtificialIntelligence => "AI",
+            ApplicationDomain::CombinatorialOptimization => "Combinatorial optimization",
+            ApplicationDomain::DiscreteEventSimulation => "DE Simulation",
+            ApplicationDomain::DocumentProcessing => "Doc Processing",
+            ApplicationDomain::Physics => "Physics",
+            ApplicationDomain::FluidDynamics => "Fluid dynamics",
+            ApplicationDomain::MolecularDynamics => "Molecular dynamics",
+            ApplicationDomain::Visualization => "Visualization",
+            ApplicationDomain::Biomedical => "Biomedical",
+            ApplicationDomain::Climatology => "Climatology",
+            ApplicationDomain::SpeechRecognition => "Speech recognition",
+            ApplicationDomain::LinearProgramming => "Linear programming",
+            ApplicationDomain::QuantumChemistry => "Quantum chemistry",
+            ApplicationDomain::Eda => "EDA",
+            ApplicationDomain::GraphAnalytics => "Graph analytics",
+            ApplicationDomain::DataServing => "Data serving",
+            ApplicationDomain::Other => "Other",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsuite_classification() {
+        assert!(SubSuite::SpeedInt.is_int());
+        assert!(SubSuite::SpeedInt.is_speed());
+        assert!(!SubSuite::RateFp.is_int());
+        assert!(!SubSuite::RateFp.is_speed());
+        assert_eq!(SubSuite::all().len(), 4);
+    }
+
+    #[test]
+    fn suite_predicates() {
+        assert!(Suite::Cpu2017(SubSuite::RateInt).is_cpu2017());
+        assert!(Suite::Cpu2006Int.is_cpu2006());
+        assert!(!Suite::Graph.is_cpu2017());
+    }
+
+    #[test]
+    fn display_matches_paper_terms() {
+        assert_eq!(SubSuite::SpeedFp.to_string(), "SPECspeed FP");
+        assert_eq!(
+            ApplicationDomain::DiscreteEventSimulation.to_string(),
+            "DE Simulation"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Synthetic database of commercial systems (§IV-B, Figures 5/6).
+//!
+//! The paper validates its subsets against SPEC's published scores for
+//! commercial machines. SPEC scores are speedups over a fixed historical
+//! reference machine (for CPU2017: a Sun Fire V490, which Table IV's
+//! SPARC-IV+ entry models); each "commercial system" here is a machine
+//! configuration whose per-benchmark runtimes are obtained by simulation.
+//! Since few companies had submitted results for all four categories at
+//! publication time, the per-category system lists differ, as in the paper.
+
+use horizon_uarch::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::suite::SubSuite;
+
+/// A commercial system whose SPEC-style score can be computed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemRecord {
+    /// Marketing-style system name.
+    pub name: String,
+    /// Its hardware configuration.
+    pub machine: MachineConfig,
+}
+
+fn record(name: &str, mut machine: MachineConfig, freq_ghz: f64) -> SystemRecord {
+    machine.freq_ghz = freq_ghz;
+    machine.name = name.to_string();
+    SystemRecord {
+        name: name.to_string(),
+        machine,
+    }
+}
+
+/// The SPEC reference machine all speedups are measured against.
+pub fn reference_machine() -> MachineConfig {
+    MachineConfig::sparc_iv_plus_v490()
+}
+
+/// Systems with submitted results for the given category.
+pub fn submitted_systems(sub: SubSuite) -> Vec<SystemRecord> {
+    let skylake = MachineConfig::skylake_i7_6700;
+    let broadwell = MachineConfig::broadwell_e5_2650v4;
+    let ivy = MachineConfig::ivybridge_e5_2430v2;
+    let opteron = MachineConfig::opteron_2435;
+    let t4 = MachineConfig::sparc_t4;
+    match sub {
+        SubSuite::SpeedInt => vec![
+            record("Vendor-A Workstation 3.4GHz", skylake(), 3.4),
+            record("Vendor-A Workstation 3.8GHz", skylake(), 3.8),
+            record("Vendor-B Server 2.2GHz", broadwell(), 2.2),
+            record("Vendor-B Server 2.5GHz", ivy(), 2.5),
+        ],
+        SubSuite::RateInt => vec![
+            record("Vendor-A Workstation 3.4GHz", skylake(), 3.4),
+            record("Vendor-B Server 2.2GHz", broadwell(), 2.2),
+            record("Vendor-B Server 2.5GHz", ivy(), 2.5),
+            record("Vendor-C Node 2.6GHz", opteron(), 2.6),
+            record("Vendor-D Blade 2.85GHz", t4(), 2.85),
+        ],
+        SubSuite::SpeedFp => vec![
+            record("Vendor-A Workstation 3.4GHz", skylake(), 3.4),
+            record("Vendor-B Server 2.2GHz", broadwell(), 2.2),
+            record("Vendor-C Node 2.6GHz", opteron(), 2.6),
+            record("Vendor-B Server 3.0GHz", ivy(), 3.0),
+        ],
+        SubSuite::RateFp => vec![
+            record("Vendor-A Workstation 3.4GHz", skylake(), 3.4),
+            record("Vendor-A Workstation 3.8GHz", skylake(), 3.8),
+            record("Vendor-B Server 2.2GHz", broadwell(), 2.2),
+            record("Vendor-C Node 2.6GHz", opteron(), 2.6),
+            record("Vendor-D Blade 2.85GHz", t4(), 2.85),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_the_v490() {
+        assert!(reference_machine().name.contains("SPARC-IV+"));
+    }
+
+    #[test]
+    fn every_category_has_systems() {
+        for sub in SubSuite::all() {
+            let systems = submitted_systems(sub);
+            assert!(systems.len() >= 4, "{sub}");
+            let names: std::collections::HashSet<_> =
+                systems.iter().map(|s| s.name.clone()).collect();
+            assert_eq!(names.len(), systems.len(), "{sub}: duplicate names");
+        }
+    }
+
+    #[test]
+    fn category_lists_differ() {
+        // §IV-B: "the different commercial systems used for validating the
+        // four benchmark categories are not exactly identical."
+        let speed_int: Vec<String> = submitted_systems(SubSuite::SpeedInt)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        let rate_fp: Vec<String> = submitted_systems(SubSuite::RateFp)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert_ne!(speed_int, rate_fp);
+    }
+
+    #[test]
+    fn frequencies_are_applied() {
+        let systems = submitted_systems(SubSuite::SpeedInt);
+        assert!(systems.iter().any(|s| (s.machine.freq_ghz - 3.8).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests over the workload catalog: every cataloged profile
+//! must satisfy the trace-layer invariants, and the input-set machinery
+//! must be closed under blending.
+
+use horizon_trace::{TraceGenerator, WorkloadProfile};
+use horizon_workloads::{cpu2017, full_catalog, inputs};
+use proptest::prelude::*;
+
+/// Plain (non-proptest) exhaustive checks over the full catalog.
+#[test]
+fn every_catalog_profile_is_structurally_sound() {
+    for b in full_catalog() {
+        let p = b.profile();
+        let mix = p.mix();
+        let sum = mix.loads + mix.stores + mix.branches + mix.fp + mix.simd;
+        assert!(sum <= 1.0 + 1e-9, "{}: mix sum {sum}", b.name());
+        assert!(mix.int_alu() >= -1e-9, "{}", b.name());
+        assert!(p.icount_billions() > 0.0, "{}", b.name());
+        assert!(!p.memory().regions.is_empty(), "{}", b.name());
+        let w: f64 = p.memory().regions.iter().map(|r| r.weight).sum();
+        assert!(w > 0.0, "{}", b.name());
+        assert!(p.code().hot_bytes <= p.code().footprint_bytes, "{}", b.name());
+        let br = p.branches();
+        assert!((0.0..=1.0).contains(&br.taken_fraction), "{}", b.name());
+        assert!((0.0..=1.0).contains(&br.regularity), "{}", b.name());
+        assert!((0.0..=1.0).contains(&br.pattern_share), "{}", b.name());
+    }
+}
+
+#[test]
+fn every_catalog_profile_generates_instructions() {
+    for b in full_catalog() {
+        let n = 4_000;
+        let count = TraceGenerator::new(b.profile(), 7).take(n).count();
+        assert_eq!(count, n, "{}", b.name());
+    }
+}
+
+#[test]
+fn every_input_set_is_valid_and_blendable() {
+    for b in cpu2017::all() {
+        let sets = inputs::input_sets(&b);
+        assert!(!sets.is_empty(), "{}", b.name());
+        let agg = inputs::aggregate_profile(&b);
+        // Aggregate region count never exceeds the base profile's (the
+        // blend coalesces structurally identical regions).
+        assert!(
+            agg.memory().regions.len() <= b.profile().memory().regions.len(),
+            "{}: {} aggregate regions vs {} base",
+            b.name(),
+            agg.memory().regions.len(),
+            b.profile().memory().regions.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any pair of catalog profiles blends into a valid profile.
+    #[test]
+    fn catalog_profiles_blend_pairwise(
+        i in 0usize..43,
+        j in 0usize..43,
+        w in 0.1..10.0f64,
+    ) {
+        let all = cpu2017::all();
+        let a = all[i].profile();
+        let b = all[j].profile();
+        let blended = WorkloadProfile::blend("pair", &[(a, 1.0), (b, w)]).unwrap();
+        let mix = blended.mix();
+        prop_assert!(mix.loads + mix.stores + mix.branches + mix.fp + mix.simd <= 1.0 + 1e-9);
+        // Blended loads lie between the parents'.
+        let lo = a.mix().loads.min(b.mix().loads) - 1e-12;
+        let hi = a.mix().loads.max(b.mix().loads) + 1e-12;
+        prop_assert!(blended.mix().loads >= lo && blended.mix().loads <= hi);
+    }
+
+    /// Trace generation from any catalog profile is seed-deterministic.
+    #[test]
+    fn catalog_generation_deterministic(i in 0usize..43, seed in any::<u64>()) {
+        let all = cpu2017::all();
+        let p = all[i].profile();
+        let a: Vec<_> = TraceGenerator::new(p, seed).take(300).collect();
+        let b: Vec<_> = TraceGenerator::new(p, seed).take(300).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Region layout is contiguous, non-overlapping and in declaration order.
+    #[test]
+    fn region_layout_is_disjoint(i in 0usize..43) {
+        let all = cpu2017::all();
+        let layout = horizon_trace::region_layout(all[i].profile());
+        for w in layout.windows(2) {
+            let (base_a, bytes_a) = w[0];
+            let (base_b, _) = w[1];
+            prop_assert!(base_a + bytes_a <= base_b, "{:?}", layout);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Suite-balance study (§V of the paper): compare CPU2017 against CPU2006
+//! and against EDA / graph / database workloads in one workload space.
+//!
+//! ```sh
+//! cargo run --release --example balance_study
+//! ```
+
+use horizon::core::balance::{compare_coverage, removed_coverage};
+use horizon::core::campaign::Campaign;
+use horizon::core::similarity::SimilarityAnalysis;
+use horizon::uarch::MachineConfig;
+use horizon::workloads::{cpu2000, cpu2006, cpu2017, emerging};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c2017 = cpu2017::all();
+    let c2006 = cpu2006::all();
+    let mut all = c2017.clone();
+    all.extend(c2006.clone());
+    all.extend(cpu2000::all());
+    all.extend(emerging::all());
+
+    println!("measuring {} workloads on 7 machines...", all.len());
+    let result = Campaign::default().measure(&all, &MachineConfig::table_iv_machines());
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+
+    // 1. CPU2017 vs CPU2006 coverage (Figure 11).
+    let names2017: Vec<String> = c2017.iter().map(|b| b.name().to_string()).collect();
+    let names2006: Vec<String> = c2006.iter().map(|b| b.name().to_string()).collect();
+    let cmp = compare_coverage(&analysis, &names2017, &names2006, 0, 1)?;
+    println!(
+        "\nPC1-PC2 coverage: CPU2017 area {:.1} vs CPU2006 {:.1} \
+         ({:.0}% of CPU2017 outside CPU2006's hull)",
+        cmp.area_a,
+        cmp.area_b,
+        cmp.outside_fraction * 100.0
+    );
+
+    // 2. Which removed CPU2006 benchmarks did CPU2017 fail to cover (§V-B)?
+    let removed: Vec<String> = names2006
+        .iter()
+        .filter(|n| !["471.omnetpp", "410.bwaves"].contains(&n.as_str()))
+        .cloned()
+        .collect();
+    let gaps = removed_coverage(&analysis, &removed, &names2017, 0.77)?;
+    println!("\nremoved CPU2006 benchmarks not covered by CPU2017:");
+    for g in gaps.iter().filter(|g| g.uncovered) {
+        println!(
+            "  {} (nearest: {} at distance {:.2})",
+            g.removed, g.nearest, g.distance
+        );
+    }
+
+    // 3. Where do the emerging workloads land (§V-D/E/F)?
+    println!("\nemerging workloads vs the CPU2017 space:");
+    for probe in ["175.vpr", "300.twolf", "pr-web", "cc-web", "cas-WA", "cas-WC"] {
+        let i = analysis.index_of(probe)?;
+        let (nearest, dist) = names2017
+            .iter()
+            .map(|n| {
+                let j = analysis.index_of(n).expect("cataloged");
+                (n.clone(), analysis.distances().get(i, j))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!("  {probe:8} -> nearest {nearest} at {dist:.2}");
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Representative input-set selection (§IV-C, Table VII): measure every
+//! input set of the multi-input CPU2017 benchmarks plus their aggregated
+//! runs, cluster them in one PC space, and pick the input closest to each
+//! benchmark's aggregate.
+//!
+//! ```sh
+//! cargo run --release --example input_sets
+//! ```
+
+use horizon::core::campaign::Campaign;
+use horizon::core::input_sets::analyze_input_sets;
+use horizon::uarch::MachineConfig;
+use horizon::workloads::{cpu2017, inputs, Benchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // All multi-input INT benchmarks (rate + speed).
+    let mut benchmarks = cpu2017::rate_int();
+    benchmarks.extend(cpu2017::speed_int());
+    let multi: Vec<Benchmark> = benchmarks
+        .into_iter()
+        .filter(inputs::has_multiple_inputs)
+        .collect();
+    println!(
+        "analyzing input sets of: {}\n",
+        multi
+            .iter()
+            .map(Benchmark::name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let machines = MachineConfig::table_iv_machines();
+    let (analysis, choices) = analyze_input_sets(&multi, &machines, &Campaign::default())?;
+
+    println!(
+        "shared PC space: {} PCs covering {:.0}% of variance\n",
+        analysis.pca().components(),
+        analysis.pca().coverage() * 100.0
+    );
+    println!("{}", analysis.render_dendrogram()?);
+
+    println!("Table VII — representative input sets:");
+    for c in &choices {
+        println!(
+            "  {:18} input set {}   (distances to aggregate: {})",
+            c.benchmark,
+            c.representative,
+            c.distances_to_aggregate
+                .iter()
+                .map(|d| format!("{d:.2}"))
+                .collect::<Vec<_>>()
+                .join(" / ")
+        );
+    }
+
+    // The paper's observation: gcc's five inputs cluster together — check
+    // the widest intra-gcc spread against the aggregate.
+    if let Some(gcc) = choices.iter().find(|c| c.benchmark == "502.gcc_r") {
+        let spread = gcc
+            .distances_to_aggregate
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            - gcc
+                .distances_to_aggregate
+                .iter()
+                .cloned()
+                .fold(f64::MAX, f64::min);
+        println!(
+            "\n502.gcc_r inputs cluster tightly: aggregate-distance spread {spread:.2} \
+             (vs dendrogram scale {:.1})",
+            analysis.dendrogram().max_height()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: measure a few benchmarks on two machines, run the
+//! PCA + clustering pipeline, and print a dendrogram plus a 3-benchmark
+//! representative subset.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use horizon::core::campaign::Campaign;
+use horizon::core::similarity::SimilarityAnalysis;
+use horizon::core::subsetting::representative_subset;
+use horizon::uarch::MachineConfig;
+use horizon::workloads::cpu2017;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick workloads and machines. The SPECspeed INT sub-suite and two
+    //    very different cores: a modern Intel desktop and a SPARC T4.
+    let benchmarks = cpu2017::speed_int();
+    let machines = vec![
+        MachineConfig::skylake_i7_6700(),
+        MachineConfig::sparc_t4(),
+    ];
+
+    // 2. Run the measurement campaign (the perf-counter step of the paper).
+    println!("simulating {} benchmarks on {} machines...", benchmarks.len(), machines.len());
+    let result = Campaign::default().measure(&benchmarks, &machines);
+
+    // 3. Show a couple of raw counter readouts.
+    for name in ["605.mcf_s", "625.x264_s"] {
+        let m = result.lookup(name, "Intel Core i7-6700")?;
+        println!(
+            "{name}: CPI {:.2}, L1D MPKI {:.1}, branch MPKI {:.1}",
+            m.counters.cpi(),
+            m.counters.mpki(m.counters.l1d_misses),
+            m.counters.branch_mpki(),
+        );
+    }
+
+    // 4. Standardize -> PCA (Kaiser) -> Euclidean distances -> dendrogram.
+    let analysis = SimilarityAnalysis::from_campaign(&result)?;
+    println!(
+        "\nretained {} PCs covering {:.0}% of variance",
+        analysis.pca().components(),
+        analysis.pca().coverage() * 100.0
+    );
+    println!("most distinct benchmark: {}\n", analysis.most_distinct());
+    println!("{}", analysis.render_dendrogram()?);
+
+    // 5. Cut the tree into three clusters and pick medoids (Table V).
+    let subset = representative_subset(&analysis, 3)?;
+    println!(
+        "representative subset of 3: {}",
+        subset.representatives.join(", ")
+    );
+    for (rep, members) in subset.representatives.iter().zip(&subset.clusters) {
+        println!("  {rep} covers {{{}}}", members.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Sensitivity analysis (§V-G, Table IX): which benchmarks should you pick
+//! when studying branch predictors, L1 data caches, or TLBs?
+//!
+//! ```sh
+//! cargo run --release --example sensitivity
+//! ```
+
+use horizon::core::campaign::Campaign;
+use horizon::core::metrics::Metric;
+use horizon::core::sensitivity::{
+    classify_sensitivity, in_class, SensitivityClass, SensitivityThresholds,
+};
+use horizon::uarch::MachineConfig;
+use horizon::workloads::cpu2017;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmarks = cpu2017::all();
+    let machines = vec![
+        MachineConfig::skylake_i7_6700(),
+        MachineConfig::core2_e5405(),
+        MachineConfig::sparc_iv_plus_v490(),
+        MachineConfig::opteron_2435(),
+    ];
+    println!("measuring all 43 benchmarks on 4 machines...\n");
+    let result = Campaign::default().measure(&benchmarks, &machines);
+
+    for (label, metric) in [
+        ("Branch Prediction", Metric::BranchMpki),
+        ("L1 D-cache", Metric::L1DMpki),
+        ("L1 D TLB", Metric::DtlbMpmi),
+    ] {
+        let s = classify_sensitivity(&result, metric, SensitivityThresholds::default())?;
+        println!("== sensitivity to {label} ==");
+        println!("  High:   {}", in_class(&s, SensitivityClass::High).join(", "));
+        println!("  Medium: {}", in_class(&s, SensitivityClass::Medium).join(", "));
+        let low = in_class(&s, SensitivityClass::Low);
+        println!("  ({} benchmarks classified Low)\n", low.len());
+    }
+
+    println!(
+        "Note: low sensitivity does not mean good behavior — leela is \n\
+         insensitive to branch predictors because it mispredicts heavily \n\
+         on every machine (§V-G)."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Subset selection and validation, end to end (§IV-A/B of the paper):
+//! build the four sub-suite dendrograms, cut 3-benchmark subsets, and check
+//! how well each subset predicts full-suite SPEC scores on commercial
+//! systems — including against random subsets.
+//!
+//! ```sh
+//! cargo run --release --example subset_selection
+//! ```
+
+use horizon::core::campaign::Campaign;
+use horizon::core::similarity::SimilarityAnalysis;
+use horizon::core::subsetting::{representative_subset, simulation_time_reduction};
+use horizon::core::validation::{average_error, SpeedupTable};
+use horizon::uarch::MachineConfig;
+use horizon::workloads::systems::{reference_machine, submitted_systems};
+use horizon::workloads::{cpu2017, SubSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let campaign = Campaign::default();
+    let machines = MachineConfig::table_iv_machines();
+
+    for sub in SubSuite::all() {
+        let benchmarks = cpu2017::sub_suite(sub);
+        let result = campaign.measure(&benchmarks, &machines);
+        let analysis = SimilarityAnalysis::from_campaign(&result)?;
+        let subset = representative_subset(&analysis, 3)?;
+
+        let icounts: Vec<(String, f64)> = benchmarks
+            .iter()
+            .map(|b| (b.name().to_string(), b.icount_billions()))
+            .collect();
+        let reduction = simulation_time_reduction(&subset, &icounts)?;
+
+        println!("== {sub} ==");
+        println!(
+            "subset: {} (cut at linkage distance {:.1}, {:.1}x less simulation)",
+            subset.representatives.join(", "),
+            subset.threshold,
+            reduction
+        );
+
+        // Validate against the commercial systems that submitted results
+        // for this category.
+        let table = SpeedupTable::measure(
+            &benchmarks,
+            &submitted_systems(sub),
+            &reference_machine(),
+            &campaign,
+        );
+        let scores = table.validate(&subset.representatives)?;
+        for s in &scores {
+            println!(
+                "  {:32} full {:5.2}  subset {:5.2}  error {:4.1}%",
+                s.system,
+                s.full_score,
+                s.subset_score,
+                s.error_pct()
+            );
+        }
+        let rand1 = table.validate_random(3, 1)?;
+        let rand2 = table.validate_random(3, 2)?;
+        println!(
+            "  identified subset avg error {:.1}% vs random subsets {:.1}% / {:.1}%\n",
+            average_error(&scores),
+            average_error(&rand1),
+            average_error(&rand2)
+        );
+    }
+    Ok(())
+}

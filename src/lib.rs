@@ -1,0 +1,14 @@
+//! Horizon — a SPEC CPU2017 benchmark similarity, subsetting, and balance
+//! analysis toolkit.
+//!
+//! This root crate re-exports the workspace crates; see the README for the
+//! architecture overview and `examples/` for runnable entry points.
+
+#![forbid(unsafe_code)]
+
+pub use horizon_cluster as cluster;
+pub use horizon_core as core;
+pub use horizon_stats as stats;
+pub use horizon_trace as trace;
+pub use horizon_uarch as uarch;
+pub use horizon_workloads as workloads;

@@ -1,0 +1,69 @@
+//! Smoke tests for every experiment driver: each report must build at the
+//! quick scale and contain its structural landmarks.
+
+use horizon_bench::{all_experiments, ReproConfig};
+
+#[test]
+fn every_experiment_produces_a_report() {
+    let reports = all_experiments(&ReproConfig::quick()).unwrap();
+    assert_eq!(reports.len(), 18);
+    for (id, report) in &reports {
+        assert!(!report.trim().is_empty(), "{id} empty");
+        assert!(report.len() > 100, "{id} suspiciously short: {report}");
+    }
+
+    let get = |id: &str| -> &str {
+        reports
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, r)| r.as_str())
+            .unwrap()
+    };
+
+    // Table I lists all four sub-suites' members.
+    for probe in ["600.perlbench_s", "505.mcf_r", "603.bwaves_s", "554.roms_r"] {
+        assert!(get("table1").contains(probe));
+    }
+    // Table II has a row per metric and a column per sub-suite.
+    for probe in ["L1D$ MPKI", "Branch misp. PKI", "Rate FP"] {
+        assert!(get("table2").contains(probe));
+    }
+    // Figure 1 draws bars.
+    assert!(get("fig1").contains('|'));
+    assert!(get("fig1").contains("520.omnetpp_r"));
+    // Dendrograms name their sub-suites' benchmarks.
+    assert!(get("fig2").contains("605.mcf_s"));
+    assert!(get("fig3").contains("607.cactuBSSN_s"));
+    assert!(get("fig4").contains("549.fotonik3d_r"));
+    // Table V covers the four sub-suites.
+    for sub in ["SPECspeed INT", "SPECrate INT", "SPECspeed FP", "SPECrate FP"] {
+        assert!(get("table5").contains(sub));
+    }
+    assert!(get("table5").contains("Silhouette"));
+    // Validation names systems and errors.
+    assert!(get("fig5-6+table6").contains("Vendor-A Workstation 3.4GHz"));
+    assert!(get("fig5-6+table6").contains("Rand mean(10)"));
+    // Input sets name the multi-input variants and the representative.
+    assert!(get("fig7-8+table7").contains("502.gcc_r.is1"));
+    assert!(get("fig7-8+table7").contains("input set"));
+    // Rate-vs-speed pairs.
+    assert!(get("rate-speed").contains("imagick"));
+    // Scatter plots carry legends.
+    assert!(get("fig9").contains("PC1 dominated by:"));
+    assert!(get("fig9").contains('@')); // metric@machine labels
+    assert!(get("fig10").contains("Instruction-cache"));
+    // Table VIII domains.
+    assert!(get("table8").contains("Combinatorial optimization"));
+    // Figure 11 coverage + §V-B verdicts.
+    assert!(get("fig11").contains("hull area"));
+    assert!(get("fig11").contains("429.mcf"));
+    // Figure 12 power axes.
+    assert!(get("fig12").contains("core power"));
+    // Figure 13 probes the emerging workloads.
+    assert!(get("fig13").contains("cas-WA"));
+    // Stability jackknife.
+    assert!(get("stability").contains("mean subset overlap"));
+    // Table IX classes.
+    assert!(get("table9").contains("High:"));
+    assert!(get("table9").contains("L1 D TLB"));
+}

@@ -1,0 +1,181 @@
+//! End-to-end pipeline integration: campaign → metrics → PCA → clustering →
+//! subsetting → validation, across crates.
+
+use horizon::core::campaign::Campaign;
+use horizon::core::metrics::{feature_matrix, Metric};
+use horizon::core::similarity::SimilarityAnalysis;
+use horizon::core::subsetting::{representative_subset, simulation_time_reduction};
+use horizon::core::validation::{average_error, SpeedupTable};
+use horizon::uarch::MachineConfig;
+use horizon::workloads::systems::{reference_machine, submitted_systems};
+use horizon::workloads::{cpu2017, SubSuite};
+
+fn machines() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::skylake_i7_6700(),
+        MachineConfig::sparc_t4(),
+        MachineConfig::opteron_2435(),
+    ]
+}
+
+#[test]
+fn full_pipeline_on_speed_int() {
+    let benchmarks = cpu2017::speed_int();
+    let campaign = Campaign::quick();
+    let result = campaign.measure(&benchmarks, &machines());
+
+    // Feature matrix has the paper's arithmetic: 20 metrics × machines.
+    let (x, labels) = feature_matrix(&result, &Metric::table_iii());
+    assert_eq!(x.rows(), 10);
+    assert_eq!(x.cols(), 20 * machines().len());
+    assert_eq!(labels.len(), x.cols());
+    assert!(x.is_finite());
+
+    // PCA + clustering.
+    let analysis = SimilarityAnalysis::from_campaign(&result).unwrap();
+    assert!(analysis.pca().components() >= 2);
+    assert!(analysis.pca().coverage() > 0.6);
+
+    // Subsetting: 3 medoids partitioning all 10 benchmarks.
+    let subset = representative_subset(&analysis, 3).unwrap();
+    assert_eq!(subset.representatives.len(), 3);
+    let covered: usize = subset.clusters.iter().map(Vec::len).sum();
+    assert_eq!(covered, 10);
+
+    // Simulation-time reduction is meaningful (§IV-A reports 4.5–6.3x).
+    let icounts: Vec<(String, f64)> = benchmarks
+        .iter()
+        .map(|b| (b.name().to_string(), b.icount_billions()))
+        .collect();
+    let reduction = simulation_time_reduction(&subset, &icounts).unwrap();
+    assert!(reduction > 1.5 && reduction < 50.0, "{reduction}");
+
+    // Validation: the identified subset predicts commercial scores.
+    let table = SpeedupTable::measure(
+        &benchmarks,
+        &submitted_systems(SubSuite::SpeedInt),
+        &reference_machine(),
+        &campaign,
+    );
+    let scores = table.validate(&subset.representatives).unwrap();
+    assert!(average_error(&scores).is_finite());
+}
+
+#[test]
+fn campaigns_are_deterministic_end_to_end() {
+    let benchmarks = &cpu2017::rate_fp()[..4];
+    let a = Campaign::quick().measure(benchmarks, &machines());
+    let b = Campaign::quick().measure(benchmarks, &machines());
+    assert_eq!(a, b);
+    let sa = SimilarityAnalysis::from_campaign(&a).unwrap();
+    let sb = SimilarityAnalysis::from_campaign(&b).unwrap();
+    assert_eq!(sa.dendrogram().merges(), sb.dendrogram().merges());
+}
+
+#[test]
+fn different_seeds_change_counters_but_not_structure() {
+    let benchmarks = &cpu2017::rate_int()[..3];
+    let mut c1 = Campaign::quick();
+    c1.seed = 1;
+    let mut c2 = Campaign::quick();
+    c2.seed = 2;
+    let a = c1.measure(benchmarks, &machines()[..1]);
+    let b = c2.measure(benchmarks, &machines()[..1]);
+    assert_ne!(a, b);
+    // But the counters stay in the same regime: CPI within 20% per pair.
+    for w in 0..3 {
+        let ca = a.at(w, 0).counters.cpi();
+        let cb = b.at(w, 0).counters.cpi();
+        assert!((ca - cb).abs() / ca < 0.2, "{ca} vs {cb}");
+    }
+}
+
+#[test]
+fn subsets_grow_monotonically_with_k() {
+    let benchmarks = cpu2017::rate_fp();
+    let result = Campaign::quick().measure(&benchmarks, &machines());
+    let analysis = SimilarityAnalysis::from_campaign(&result).unwrap();
+    for k in 1..=13 {
+        let subset = representative_subset(&analysis, k).unwrap();
+        assert_eq!(subset.representatives.len(), k);
+        assert_eq!(subset.clusters.len(), k);
+        // Thresholds shrink as k grows (finer cuts).
+        if k > 1 {
+            let prev = representative_subset(&analysis, k - 1).unwrap();
+            assert!(subset.threshold <= prev.threshold + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn mixed_suites_share_one_space() {
+    use horizon::workloads::{cpu2000, emerging};
+    let mut all = cpu2017::rate_int();
+    all.extend(cpu2000::all());
+    all.extend(emerging::all());
+    let result = Campaign::quick().measure(&all, &machines());
+    let analysis = SimilarityAnalysis::from_campaign(&result).unwrap();
+    assert_eq!(analysis.names().len(), all.len());
+    // The dendrogram renders every workload.
+    let art = analysis.render_dendrogram().unwrap();
+    for b in &all {
+        assert!(art.contains(b.name()), "{} missing", b.name());
+    }
+}
+
+#[test]
+fn cut_quality_and_exports() {
+    use horizon::cluster::mean_silhouette;
+    use horizon::core::metrics::Metric;
+
+    let benchmarks = cpu2017::rate_fp();
+    let result = Campaign::quick().measure(&benchmarks, &machines());
+    let analysis = SimilarityAnalysis::from_campaign(&result).unwrap();
+
+    // The gap heuristic proposes a usable k.
+    let k = analysis.dendrogram().suggest_cut();
+    assert!((2..=13).contains(&k), "{k}");
+
+    // The 3-cluster cut has a meaningful silhouette (cohesive clusters).
+    let clusters = analysis.dendrogram().cut_into(3);
+    let s = mean_silhouette(&clusters, analysis.distances()).unwrap();
+    assert!((-1.0..=1.0).contains(&s));
+    assert!(s > -0.2, "silhouette {s} suggests a degenerate clustering");
+
+    // Newick export covers every benchmark.
+    let newick = analysis.dendrogram().to_newick(analysis.names()).unwrap();
+    assert!(newick.ends_with(';'));
+    for b in &benchmarks {
+        let sanitized = b.name().replace(['(', ')', ',', ':', ';', ' '], "_");
+        assert!(newick.contains(&sanitized), "{}", b.name());
+    }
+
+    // CSV export: header + workloads × machines rows, numeric cells.
+    let csv = result.to_csv(&Metric::table_iii());
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + benchmarks.len() * machines().len());
+    let cells: Vec<&str> = lines[1].split(',').collect();
+    assert_eq!(cells.len(), 2 + Metric::table_iii().len());
+    assert!(cells[2].parse::<f64>().is_ok(), "{}", cells[2]);
+}
+
+#[test]
+fn dominant_pc_features_are_interpretable() {
+    // §IV-E style interpretation: in the branch-metric space, the first
+    // two PCs must be dominated by branch-family features.
+    use horizon::core::classification::{Aspect, Classification};
+    let mut benchmarks = cpu2017::rate_int();
+    benchmarks.extend(cpu2017::rate_fp());
+    let result = Campaign::quick().measure(&benchmarks, &machines());
+    let c = Classification::new(&result, Aspect::Branch).unwrap();
+    for pc in 0..c.analysis().pca().components().min(2) {
+        let top = c.analysis().dominant_features(pc, 2).unwrap();
+        for (label, _) in &top {
+            assert!(
+                label.starts_with("BR_") || label.starts_with("PCT_BRANCHES"),
+                "PC{} dominated by non-branch feature {label}",
+                pc + 1
+            );
+        }
+    }
+}
