@@ -17,10 +17,7 @@ fn campaign_features() -> (Vec<String>, horizon_stats::Matrix) {
     let benchmarks = cpu2017::rate_int();
     let result = Campaign::quick().measure(
         &benchmarks,
-        &[
-            MachineConfig::skylake_i7_6700(),
-            MachineConfig::sparc_t4(),
-        ],
+        &[MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()],
     );
     let (x, _) = feature_matrix(&result, &Metric::table_iii());
     (result.workloads().to_vec(), x)
@@ -36,15 +33,10 @@ fn ablation_linkage(c: &mut Criterion) {
             &linkage,
             |b, &linkage| {
                 b.iter(|| {
-                    SimilarityAnalysis::from_features(
-                        names.clone(),
-                        &x,
-                        Retention::Kaiser,
-                        linkage,
-                    )
-                    .unwrap()
-                    .dendrogram()
-                    .max_height()
+                    SimilarityAnalysis::from_features(names.clone(), &x, Retention::Kaiser, linkage)
+                        .unwrap()
+                        .dendrogram()
+                        .max_height()
                 })
             },
         );

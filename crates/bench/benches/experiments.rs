@@ -7,8 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use horizon_bench::{
     fig_1, fig_10, fig_11, fig_12, fig_13, fig_2, fig_3, fig_4, fig_9, input_sets_report,
-    rate_speed_report, table_1, table_2, table_5, table_8, table_9, validation_report,
-    ReproConfig,
+    rate_speed_report, table_1, table_2, table_5, table_8, table_9, validation_report, ReproConfig,
 };
 
 macro_rules! experiment_bench {

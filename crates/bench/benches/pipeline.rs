@@ -21,7 +21,9 @@ fn bench_trace_generation(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    let addrs: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % (1 << 24)).collect();
+    let addrs: Vec<u64> = (0..100_000u64)
+        .map(|i| (i * 2654435761) % (1 << 24))
+        .collect();
     c.bench_function("uarch/cache_100k_accesses", |b| {
         b.iter_batched(
             || Cache::new(CacheConfig::new(32 << 10, 8)),
@@ -49,7 +51,9 @@ fn bench_pca(c: &mut Criterion) {
     let mut data = Vec::with_capacity(43 * 140);
     let mut state = 1u64;
     for _ in 0..43 * 140 {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         data.push((state >> 11) as f64 / (1u64 << 53) as f64);
     }
     let x = Matrix::from_vec(43, 140, data).unwrap();

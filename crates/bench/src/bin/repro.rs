@@ -1,74 +1,160 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro <experiment> [--quick]
-//! repro all [--quick]
+//! repro <experiment> [flags]
+//! repro all [flags]
 //! repro list
+//!
+//! flags:
+//!   --quick            reduced-scale config (3 machines, short windows)
+//!   --jobs <N>         worker threads (overrides HORIZON_JOBS)
+//!   --cache-dir <DIR>  persist measurements to an on-disk cache
+//!   --stats            print engine statistics to stderr when done
 //! ```
+//!
+//! Unknown flags are rejected with exit code 2. Experiment reports go to
+//! stdout and are bit-identical regardless of `--jobs`, `HORIZON_JOBS` or
+//! cache state; statistics go to stderr so report output stays diffable.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use horizon_bench::{
-    all_experiments, fig_1, fig_10, fig_11, fig_12, fig_13, fig_2, fig_3, fig_4, fig_9,
-    input_sets_report, rate_speed_report, stability_report, table_1, table_2, table_5,
-    table_8, table_9, validation_report, ReproConfig,
-};
-use horizon_core::CoreError;
+use horizon_bench::{all_experiments, find_experiment, ReproConfig, REGISTRY};
+use horizon_engine::Engine;
 
-const EXPERIMENTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "table5", "fig5", "fig6", "table6",
-    "fig7", "fig8", "table7", "rate-speed", "fig9", "fig10", "table8", "fig11", "fig12",
-    "fig13", "table9", "stability",
-];
+struct Options {
+    target: Option<String>,
+    quick: bool,
+    jobs: Option<usize>,
+    cache_dir: Option<String>,
+    stats: bool,
+}
 
-fn run(experiment: &str, cfg: &ReproConfig) -> Result<String, CoreError> {
-    match experiment {
-        "table1" => table_1(cfg),
-        "table2" => table_2(cfg),
-        "fig1" => fig_1(cfg),
-        "fig2" => fig_2(cfg),
-        "fig3" => fig_3(cfg),
-        "fig4" => fig_4(cfg),
-        "table5" => table_5(cfg),
-        // Figures 5/6 and Table VI come from one validation run.
-        "fig5" | "fig6" | "table6" => validation_report(cfg),
-        // Figures 7/8 and Table VII come from one input-set run.
-        "fig7" | "fig8" | "table7" => input_sets_report(cfg),
-        "rate-speed" => rate_speed_report(cfg),
-        "fig9" => fig_9(cfg),
-        "fig10" => fig_10(cfg),
-        "table8" => table_8(cfg),
-        "fig11" => fig_11(cfg),
-        "fig12" => fig_12(cfg),
-        "fig13" => fig_13(cfg),
-        "table9" => table_9(cfg),
-        "stability" => stability_report(cfg),
-        other => Err(CoreError::InvalidArgument {
-            reason: format!("unknown experiment '{other}' (try `repro list`)"),
-        }),
+enum ParseError {
+    UnknownFlag(String),
+    ExtraArgument(String),
+    MissingValue(&'static str),
+    BadValue(&'static str, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            ParseError::ExtraArgument(arg) => write!(f, "unexpected argument '{arg}'"),
+            ParseError::MissingValue(flag) => write!(f, "flag '{flag}' expects a value"),
+            ParseError::BadValue(flag, value) => {
+                write!(f, "invalid value '{value}' for flag '{flag}'")
+            }
+        }
     }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, ParseError> {
+    let mut opts = Options {
+        target: None,
+        quick: false,
+        jobs: None,
+        cache_dir: None,
+        stats: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f, Some(v.to_string())),
+            _ => (arg.as_str(), None),
+        };
+        let mut value = |name: &'static str| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or(ParseError::MissingValue(name))
+        };
+        match flag {
+            "--quick" => opts.quick = true,
+            "--stats" => opts.stats = true,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--jobs", v))?;
+                opts.jobs = Some(n);
+            }
+            "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            other if other.starts_with("--") => {
+                return Err(ParseError::UnknownFlag(other.to_string()));
+            }
+            positional => {
+                if opts.target.is_some() {
+                    return Err(ParseError::ExtraArgument(positional.to_string()));
+                }
+                opts.target = Some(positional.to_string());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] [--stats]"
+    );
+    let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+    eprintln!("experiments: {}", ids.join(", "));
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("hint: run `repro help` for usage");
+            return ExitCode::from(2);
+        }
+    };
 
-    let cfg = if quick {
+    let cfg = if opts.quick {
         ReproConfig::quick()
     } else {
         ReproConfig::default()
     };
 
-    match target.as_deref() {
+    let mut engine = Engine::new();
+    if let Some(jobs) = opts.jobs {
+        engine = engine.with_jobs(jobs);
+    }
+    if let Some(dir) = &opts.cache_dir {
+        engine = match engine.with_cache_dir(dir) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("error: cannot open cache dir '{dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    let engine = Arc::new(engine);
+    Arc::clone(&engine).install();
+
+    let code = match opts.target.as_deref() {
         None | Some("help") => {
-            eprintln!("usage: repro <experiment|all|list> [--quick]");
-            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+            usage();
             ExitCode::from(2)
         }
         Some("list") => {
-            for e in EXPERIMENTS {
-                println!("{e}");
+            for e in REGISTRY {
+                if e.aliases.is_empty() {
+                    println!("{:<16} {}", e.id, e.summary);
+                } else {
+                    println!(
+                        "{:<16} {}  (aliases: {})",
+                        e.id,
+                        e.summary,
+                        e.aliases.join(", ")
+                    );
+                }
             }
             ExitCode::SUCCESS
         }
@@ -85,15 +171,27 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Some(experiment) => match run(experiment, &cfg) {
-            Ok(report) => {
-                println!("{report}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Some(name) => match find_experiment(name) {
+            Some(experiment) => match (experiment.run)(&cfg) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                eprintln!("error: unknown experiment '{name}'");
+                eprintln!("hint: run `repro list` for the catalog");
+                ExitCode::from(2)
             }
         },
+    };
+
+    if opts.stats {
+        eprintln!("{}", engine.stats().summary());
     }
+    code
 }

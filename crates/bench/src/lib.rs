@@ -17,7 +17,9 @@ use horizon_core::input_sets::analyze_input_sets;
 use horizon_core::metrics::Metric;
 use horizon_core::rate_speed::{divergent_pairs, rate_speed_distances};
 use horizon_core::report::{ascii_scatter, fmt, format_table};
-use horizon_core::sensitivity::{classify_sensitivity, in_class, SensitivityClass, SensitivityThresholds};
+use horizon_core::sensitivity::{
+    classify_sensitivity, in_class, SensitivityClass, SensitivityThresholds,
+};
 use horizon_core::similarity::SimilarityAnalysis;
 use horizon_core::subsetting::{representative_subset, simulation_time_reduction, Subset};
 use horizon_core::validation::{average_error, max_error, SpeedupTable};
@@ -69,10 +71,7 @@ impl ReproConfig {
                 warmup: 5_000,
                 seed: 42,
             },
-            machines: vec![
-                MachineConfig::skylake_i7_6700(),
-                MachineConfig::sparc_t4(),
-            ],
+            machines: vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()],
         }
     }
 
@@ -118,7 +117,14 @@ pub fn table_1(cfg: &ReproConfig) -> Result<String, CoreError> {
         "Table I: Dynamic Instr. Count, Instr. Mix and CPI of the 43 SPEC \
          CPU2017 benchmarks (simulated Skylake)\n\n{}",
         format_table(
-            &["Benchmark", "Icount(B)", "Loads%", "Stores%", "Branches%", "CPI"],
+            &[
+                "Benchmark",
+                "Icount(B)",
+                "Loads%",
+                "Stores%",
+                "Branches%",
+                "CPI"
+            ],
             &rows
         )
     ))
@@ -210,11 +216,7 @@ pub fn sub_suite_analysis(
     Ok((SimilarityAnalysis::from_campaign(&result)?, benchmarks))
 }
 
-fn dendrogram_figure(
-    cfg: &ReproConfig,
-    sub: SubSuite,
-    title: &str,
-) -> Result<String, CoreError> {
+fn dendrogram_figure(cfg: &ReproConfig, sub: SubSuite, title: &str) -> Result<String, CoreError> {
     let (analysis, _) = sub_suite_analysis(cfg, sub)?;
     Ok(format!(
         "{title}\n(PCs retained: {} covering {:.0}% of variance; average linkage)\n\n{}",
@@ -300,8 +302,7 @@ pub fn table_5(cfg: &ReproConfig) -> Result<String, CoreError> {
             .collect();
         let reduction = simulation_time_reduction(&subset, &icounts)?;
         let clusters = analysis.dendrogram().cut_into(3);
-        let silhouette =
-            horizon_cluster::mean_silhouette(&clusters, analysis.distances())?;
+        let silhouette = horizon_cluster::mean_silhouette(&clusters, analysis.distances())?;
         rows.push(vec![
             sub.to_string(),
             subset.representatives.join(", "),
@@ -347,7 +348,10 @@ pub fn validation_report(cfg: &ReproConfig) -> Result<String, CoreError> {
             &cfg.campaign,
         );
         let scores = table.validate(&subset.representatives)?;
-        out.push_str(&format!("{sub} (subset: {})\n", subset.representatives.join(", ")));
+        out.push_str(&format!(
+            "{sub} (subset: {})\n",
+            subset.representatives.join(", ")
+        ));
         let rows: Vec<Vec<String>> = scores
             .iter()
             .map(|s| {
@@ -389,7 +393,12 @@ pub fn validation_report(cfg: &ReproConfig) -> Result<String, CoreError> {
          landed at 22-50%)\n\n",
     );
     out.push_str(&format_table(
-        &["Sub-suite", "Identified subset", "Rand mean(10)", "Rand worst"],
+        &[
+            "Sub-suite",
+            "Identified subset",
+            "Rand mean(10)",
+            "Rand worst",
+        ],
         &table_vi,
     ));
     Ok(out)
@@ -505,7 +514,9 @@ pub fn fig_9(cfg: &ReproConfig) -> Result<String, CoreError> {
     let benchmarks = cpu2017::all();
     let result = measure(cfg, &benchmarks);
     let c = Classification::new(&result, Aspect::Branch)?;
-    let scatter = c.analysis().pc_scatter(0, 1.min(c.analysis().pca().components() - 1))?;
+    let scatter = c
+        .analysis()
+        .pc_scatter(0, 1.min(c.analysis().pca().components() - 1))?;
     let points: Vec<(char, String, f64, f64)> = scatter
         .iter()
         .enumerate()
@@ -549,11 +560,14 @@ pub fn fig_9(cfg: &ReproConfig) -> Result<String, CoreError> {
 pub fn fig_10(cfg: &ReproConfig) -> Result<String, CoreError> {
     let benchmarks = cpu2017::all();
     let result = measure(cfg, &benchmarks);
-    let mut out = String::from(
-        "Figure 10: CPU2017 benchmarks in the PC space of cache metrics\n\n",
-    );
+    let mut out =
+        String::from("Figure 10: CPU2017 benchmarks in the PC space of cache metrics\n\n");
     for (label, aspect, metric) in [
-        ("Data-cache space (PC1 vs PC2)", Aspect::DataCache, Metric::L1DMpki),
+        (
+            "Data-cache space (PC1 vs PC2)",
+            Aspect::DataCache,
+            Metric::L1DMpki,
+        ),
         (
             "Instruction-cache space (PC1 vs PC2)",
             Aspect::InstructionCache,
@@ -677,12 +691,21 @@ pub fn fig_11(cfg: &ReproConfig) -> Result<String, CoreError> {
                 g.removed.clone(),
                 g.nearest.clone(),
                 fmt(g.distance, 2),
-                if g.uncovered { "NOT COVERED".into() } else { "covered".into() },
+                if g.uncovered {
+                    "NOT COVERED".into()
+                } else {
+                    "covered".into()
+                },
             ]
         })
         .collect();
     out.push_str(&format_table(
-        &["Removed benchmark", "Nearest CPU2017", "Distance", "Verdict"],
+        &[
+            "Removed benchmark",
+            "Nearest CPU2017",
+            "Distance",
+            "Verdict",
+        ],
         &rows,
     ));
     let uncovered: Vec<&str> = gaps
@@ -752,10 +775,22 @@ pub fn fig_13(cfg: &ReproConfig) -> Result<String, CoreError> {
         analysis.render_dendrogram()?
     );
     // Headline claims of §V-D/E/F.
-    for probe in ["175.vpr", "300.twolf", "cas-WA", "cas-WC", "pr-web", "cc-web"] {
+    for probe in [
+        "175.vpr",
+        "300.twolf",
+        "cas-WA",
+        "cas-WC",
+        "pr-web",
+        "cc-web",
+    ] {
         let i = analysis.index_of(probe)?;
         let (nearest, dist) = (0..analysis.names().len())
-            .filter(|&j| j != i && cpu2017::all().iter().any(|b| b.name() == analysis.names()[j]))
+            .filter(|&j| {
+                j != i
+                    && cpu2017::all()
+                        .iter()
+                        .any(|b| b.name() == analysis.names()[j])
+            })
             .map(|j| (analysis.names()[j].clone(), analysis.distances().get(i, j)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("non-empty");
@@ -843,32 +878,148 @@ baseline subset: {} (most distinct: {})
     ))
 }
 
+/// One experiment of the reproduction: canonical id, accepted aliases, and
+/// its driver. The registry below is the single source of truth consumed
+/// by [`all_experiments`], the `repro` binary, and the smoke tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Canonical id, as printed by `repro all` section headers.
+    pub id: &'static str,
+    /// Alternative names accepted on the command line (figures/tables that
+    /// share one driver run).
+    pub aliases: &'static [&'static str],
+    /// One-line description for `repro list`.
+    pub summary: &'static str,
+    /// The driver producing the report text.
+    pub run: fn(&ReproConfig) -> Result<String, CoreError>,
+}
+
+/// All experiments, in paper order.
+pub static REGISTRY: &[Experiment] = &[
+    Experiment {
+        id: "table1",
+        aliases: &[],
+        summary: "Dynamic instruction count, instruction mix and CPI (Table I)",
+        run: table_1,
+    },
+    Experiment {
+        id: "table2",
+        aliases: &[],
+        summary: "Ranges of cache and branch metrics per sub-suite (Table II)",
+        run: table_2,
+    },
+    Experiment {
+        id: "fig1",
+        aliases: &[],
+        summary: "CPI stacks of the rate benchmarks (Figure 1)",
+        run: fig_1,
+    },
+    Experiment {
+        id: "fig2",
+        aliases: &[],
+        summary: "SPECspeed INT similarity dendrogram (Figure 2)",
+        run: fig_2,
+    },
+    Experiment {
+        id: "fig3",
+        aliases: &[],
+        summary: "SPECspeed FP similarity dendrogram (Figure 3)",
+        run: fig_3,
+    },
+    Experiment {
+        id: "fig4",
+        aliases: &[],
+        summary: "SPECrate FP similarity dendrogram (Figure 4)",
+        run: fig_4,
+    },
+    Experiment {
+        id: "table5",
+        aliases: &[],
+        summary: "Representative 3-benchmark subsets (Table V)",
+        run: table_5,
+    },
+    Experiment {
+        id: "fig5-6+table6",
+        aliases: &["fig5", "fig6", "table6"],
+        summary: "Subset validation on commercial systems (Figures 5/6, Table VI)",
+        run: validation_report,
+    },
+    Experiment {
+        id: "fig7-8+table7",
+        aliases: &["fig7", "fig8", "table7"],
+        summary: "Input-set similarity and representatives (Figures 7/8, Table VII)",
+        run: input_sets_report,
+    },
+    Experiment {
+        id: "rate-speed",
+        aliases: &[],
+        summary: "Rate vs speed benchmark divergence (Section IV-D)",
+        run: rate_speed_report,
+    },
+    Experiment {
+        id: "fig9",
+        aliases: &[],
+        summary: "Branch-behavior PC scatter (Figure 9)",
+        run: fig_9,
+    },
+    Experiment {
+        id: "fig10",
+        aliases: &[],
+        summary: "Data/instruction cache PC scatters (Figure 10)",
+        run: fig_10,
+    },
+    Experiment {
+        id: "table8",
+        aliases: &[],
+        summary: "Application-domain classification (Table VIII)",
+        run: table_8,
+    },
+    Experiment {
+        id: "fig11",
+        aliases: &[],
+        summary: "CPU2017 vs CPU2006 workload-space coverage (Figure 11, Section V-B)",
+        run: fig_11,
+    },
+    Experiment {
+        id: "fig12",
+        aliases: &[],
+        summary: "Power-characteristics coverage on Intel machines (Figure 12)",
+        run: fig_12,
+    },
+    Experiment {
+        id: "fig13",
+        aliases: &[],
+        summary: "Similarity with EDA, graph and database workloads (Figure 13)",
+        run: fig_13,
+    },
+    Experiment {
+        id: "table9",
+        aliases: &[],
+        summary: "Branch/L1D/TLB sensitivity classes (Table IX)",
+        run: table_9,
+    },
+    Experiment {
+        id: "stability",
+        aliases: &[],
+        summary: "Leave-one-machine-out methodology jackknife",
+        run: stability_report,
+    },
+];
+
+/// Looks an experiment up by canonical id or alias.
+pub fn find_experiment(name: &str) -> Option<&'static Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.id == name || e.aliases.contains(&name))
+}
+
 /// Every experiment in paper order; each item is `(id, report)`.
 ///
 /// # Errors
 ///
 /// Propagates the first failing experiment's error.
 pub fn all_experiments(cfg: &ReproConfig) -> Result<Vec<(&'static str, String)>, CoreError> {
-    Ok(vec![
-        ("table1", table_1(cfg)?),
-        ("table2", table_2(cfg)?),
-        ("fig1", fig_1(cfg)?),
-        ("fig2", fig_2(cfg)?),
-        ("fig3", fig_3(cfg)?),
-        ("fig4", fig_4(cfg)?),
-        ("table5", table_5(cfg)?),
-        ("fig5-6+table6", validation_report(cfg)?),
-        ("fig7-8+table7", input_sets_report(cfg)?),
-        ("rate-speed", rate_speed_report(cfg)?),
-        ("fig9", fig_9(cfg)?),
-        ("fig10", fig_10(cfg)?),
-        ("table8", table_8(cfg)?),
-        ("fig11", fig_11(cfg)?),
-        ("fig12", fig_12(cfg)?),
-        ("fig13", fig_13(cfg)?),
-        ("table9", table_9(cfg)?),
-        ("stability", stability_report(cfg)?),
-    ])
+    REGISTRY.iter().map(|e| Ok((e.id, (e.run)(cfg)?))).collect()
 }
 
 #[cfg(test)]

@@ -217,11 +217,7 @@ impl Dendrogram {
     /// Returns an error message if `labels.len() != self.len()`.
     pub fn to_newick<S: AsRef<str>>(&self, labels: &[S]) -> Result<String, String> {
         if labels.len() != self.n {
-            return Err(format!(
-                "{} labels for {} leaves",
-                labels.len(),
-                self.n
-            ));
+            return Err(format!("{} labels for {} leaves", labels.len(), self.n));
         }
         if self.n == 1 {
             return Ok(format!("{};", labels[0].as_ref()));
@@ -299,14 +295,8 @@ mod tests {
     use horizon_stats::{DistanceMatrix, Matrix, Metric};
 
     fn line_points() -> DistanceMatrix {
-        let pts = Matrix::from_rows(vec![
-            vec![0.0],
-            vec![0.5],
-            vec![4.0],
-            vec![4.4],
-            vec![20.0],
-        ])
-        .unwrap();
+        let pts = Matrix::from_rows(vec![vec![0.0], vec![0.5], vec![4.0], vec![4.4], vec![20.0]])
+            .unwrap();
         DistanceMatrix::from_observations(&pts, Metric::Euclidean)
     }
 

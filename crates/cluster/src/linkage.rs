@@ -48,12 +48,7 @@ impl Linkage {
             Linkage::Weighted => (0.5, 0.5, 0.0, 0.0),
             Linkage::Ward => {
                 let denom = na + nb + nc;
-                (
-                    (na + nc) / denom,
-                    (nb + nc) / denom,
-                    -nc / denom,
-                    0.0,
-                )
+                ((na + nc) / denom, (nb + nc) / denom, -nc / denom, 0.0)
             }
         }
     }

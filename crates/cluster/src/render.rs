@@ -151,8 +151,12 @@ mod tests {
 
     #[test]
     fn renders_all_labels() {
-        let art = render_ascii(&tree3(), &["alpha", "beta", "gamma"], &RenderOptions::default())
-            .unwrap();
+        let art = render_ascii(
+            &tree3(),
+            &["alpha", "beta", "gamma"],
+            &RenderOptions::default(),
+        )
+        .unwrap();
         assert!(art.contains("alpha"));
         assert!(art.contains("beta"));
         assert!(art.contains("gamma"));
@@ -160,8 +164,7 @@ mod tests {
 
     #[test]
     fn close_leaves_are_adjacent_lines() {
-        let art =
-            render_ascii(&tree3(), &["a", "b", "c"], &RenderOptions::default()).unwrap();
+        let art = render_ascii(&tree3(), &["a", "b", "c"], &RenderOptions::default()).unwrap();
         let lines: Vec<&str> = art.lines().collect();
         let pa = lines.iter().position(|l| l.starts_with('a')).unwrap();
         let pb = lines.iter().position(|l| l.starts_with('b')).unwrap();

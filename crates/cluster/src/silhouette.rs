@@ -107,24 +107,14 @@ mod tests {
 
     #[test]
     fn well_separated_clusters_score_high() {
-        let d = dm(vec![
-            vec![0.0],
-            vec![0.5],
-            vec![10.0],
-            vec![10.5],
-        ]);
+        let d = dm(vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]]);
         let s = mean_silhouette(&[vec![0, 1], vec![2, 3]], &d).unwrap();
         assert!(s > 0.8, "{s}");
     }
 
     #[test]
     fn wrong_assignment_scores_negative() {
-        let d = dm(vec![
-            vec![0.0],
-            vec![0.5],
-            vec![10.0],
-            vec![10.5],
-        ]);
+        let d = dm(vec![vec![0.0], vec![0.5], vec![10.0], vec![10.5]]);
         // Swap one member across: its silhouette goes negative.
         let scores = silhouette_scores(&[vec![0, 2], vec![1, 3]], &d).unwrap();
         assert!(scores.iter().any(|&s| s < 0.0), "{scores:?}");

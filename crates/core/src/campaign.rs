@@ -8,8 +8,43 @@ use horizon_trace::WorkloadProfile;
 use horizon_uarch::{CoreSimulator, Counters, MachineConfig, PowerModel, PowerReport};
 use horizon_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, RwLock};
 
 use crate::CoreError;
+
+/// A pluggable measurement backend for campaigns.
+///
+/// The builtin backend simulates every grid cell directly (see
+/// [`Campaign::measure_profiles`]). An alternative executor — such as
+/// `horizon-engine`'s memoizing work-stealing engine — can be installed
+/// process-wide with [`install_executor`]; every campaign in the process
+/// then routes through it. Executors must be *transparent*: for any input
+/// they must return exactly the grid the builtin backend would produce.
+pub trait CampaignExecutor: Send + Sync {
+    /// Measures the full `profiles` × `machines` grid for `campaign`.
+    fn measure_profiles(
+        &self,
+        campaign: &Campaign,
+        profiles: &[WorkloadProfile],
+        machines: &[MachineConfig],
+    ) -> CampaignResult;
+}
+
+static EXECUTOR: RwLock<Option<Arc<dyn CampaignExecutor>>> = RwLock::new(None);
+
+/// Installs a process-wide campaign executor, replacing any previous one.
+pub fn install_executor(executor: Arc<dyn CampaignExecutor>) {
+    *EXECUTOR.write().expect("executor lock") = Some(executor);
+}
+
+/// Removes the installed executor, restoring the builtin backend.
+pub fn clear_executor() {
+    *EXECUTOR.write().expect("executor lock") = None;
+}
+
+fn installed_executor() -> Option<Arc<dyn CampaignExecutor>> {
+    EXECUTOR.read().expect("executor lock").clone()
+}
 
 /// One (workload, machine) measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,11 +89,7 @@ impl Campaign {
     }
 
     /// Measures every benchmark on every machine.
-    pub fn measure(
-        &self,
-        benchmarks: &[Benchmark],
-        machines: &[MachineConfig],
-    ) -> CampaignResult {
+    pub fn measure(&self, benchmarks: &[Benchmark], machines: &[MachineConfig]) -> CampaignResult {
         let profiles: Vec<WorkloadProfile> =
             benchmarks.iter().map(|b| b.profile().clone()).collect();
         self.measure_profiles(&profiles, machines)
@@ -71,8 +102,22 @@ impl Campaign {
         profiles: &[WorkloadProfile],
         machines: &[MachineConfig],
     ) -> CampaignResult {
-        let workload_names: Vec<String> =
-            profiles.iter().map(|p| p.name().to_string()).collect();
+        if let Some(executor) = installed_executor() {
+            return executor.measure_profiles(self, profiles, machines);
+        }
+        self.measure_profiles_builtin(profiles, machines)
+    }
+
+    /// The builtin backend: simulates every grid cell, fanning workload
+    /// rows out across threads. Bypasses any installed executor (executors
+    /// use [`Campaign::measure_one`] instead, so there is no recursion
+    /// hazard either way).
+    pub fn measure_profiles_builtin(
+        &self,
+        profiles: &[WorkloadProfile],
+        machines: &[MachineConfig],
+    ) -> CampaignResult {
+        let workload_names: Vec<String> = profiles.iter().map(|p| p.name().to_string()).collect();
         let machine_names: Vec<String> = machines.iter().map(|m| m.name.clone()).collect();
 
         // One row of measurements per workload; rows are independent, so
@@ -97,7 +142,10 @@ impl Campaign {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .collect()
             });
             for group in results {
                 rows.extend(group);
@@ -118,14 +166,21 @@ impl Campaign {
     ) -> Vec<Measurement> {
         machines
             .iter()
-            .map(|m| {
-                let counters = CoreSimulator::new(m)
-                    .with_warmup(self.warmup)
-                    .run(profile, self.instructions, self.seed);
-                let power = PowerModel::for_machine(m).estimate(&counters, m);
-                Measurement { counters, power }
-            })
+            .map(|m| self.measure_one(profile, m))
             .collect()
+    }
+
+    /// Simulates a single (workload, machine) cell — the primitive every
+    /// backend is built from. Fully deterministic: the result depends only
+    /// on `(profile, machine, instructions, warmup, seed)`.
+    pub fn measure_one(&self, profile: &WorkloadProfile, machine: &MachineConfig) -> Measurement {
+        let counters = CoreSimulator::new(machine).with_warmup(self.warmup).run(
+            profile,
+            self.instructions,
+            self.seed,
+        );
+        let power = PowerModel::for_machine(machine).estimate(&counters, machine);
+        Measurement { counters, power }
     }
 }
 
@@ -139,6 +194,28 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
+    /// Assembles a result from its parts (for alternative executors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measurement grid's shape does not match the name
+    /// lists.
+    pub fn from_grid(
+        workload_names: Vec<String>,
+        machine_names: Vec<String>,
+        measurements: Vec<Vec<Measurement>>,
+    ) -> CampaignResult {
+        assert_eq!(measurements.len(), workload_names.len(), "row count");
+        for row in &measurements {
+            assert_eq!(row.len(), machine_names.len(), "column count");
+        }
+        CampaignResult {
+            workload_names,
+            machine_names,
+            measurements,
+        }
+    }
+
     /// Workload names, in measurement order.
     pub fn workloads(&self) -> &[String] {
         &self.workload_names
@@ -281,10 +358,7 @@ mod tests {
 
     fn tiny_campaign() -> CampaignResult {
         let benchmarks: Vec<Benchmark> = cpu2017::speed_int().into_iter().take(3).collect();
-        let machines = vec![
-            MachineConfig::skylake_i7_6700(),
-            MachineConfig::sparc_t4(),
-        ];
+        let machines = vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()];
         Campaign {
             instructions: 20_000,
             warmup: 5_000,
@@ -310,11 +384,17 @@ mod tests {
         assert!(r.lookup("602.gcc_s", "SPARC T4").is_ok());
         assert!(matches!(
             r.lookup("nope", "SPARC T4"),
-            Err(CoreError::NotFound { kind: "workload", .. })
+            Err(CoreError::NotFound {
+                kind: "workload",
+                ..
+            })
         ));
         assert!(matches!(
             r.lookup("602.gcc_s", "nope"),
-            Err(CoreError::NotFound { kind: "machine", .. })
+            Err(CoreError::NotFound {
+                kind: "machine",
+                ..
+            })
         ));
     }
 
@@ -335,10 +415,8 @@ mod tests {
         let merged = r.concat(&sub).unwrap();
         assert_eq!(merged.workloads().len(), 5);
 
-        let other_machines = Campaign::quick().measure(
-            &cpu2017::speed_int()[..1],
-            &[MachineConfig::opteron_2435()],
-        );
+        let other_machines =
+            Campaign::quick().measure(&cpu2017::speed_int()[..1], &[MachineConfig::opteron_2435()]);
         assert!(r.concat(&other_machines).is_err());
     }
 

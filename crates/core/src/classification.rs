@@ -177,10 +177,7 @@ mod tests {
         let r = campaign();
         let c = Classification::new(&r, Aspect::DataCache).unwrap();
         let top = c.extremes_by_metric(&r, Metric::L1DMpki, 2);
-        assert!(
-            top.iter().any(|(n, _)| n.contains("fotonik3d")),
-            "{top:?}"
-        );
+        assert!(top.iter().any(|(n, _)| n.contains("fotonik3d")), "{top:?}");
     }
 
     #[test]

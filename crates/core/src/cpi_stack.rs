@@ -83,11 +83,7 @@ pub fn cpi_stacks(result: &CampaignResult, machine: &str) -> Result<Vec<StackRow
 /// `F` front-end, `B` bad speculation, `M` memory, `C` core; one column per
 /// `cpi_per_char` cycles.
 pub fn render_stacks(rows: &[StackRow], cpi_per_char: f64) -> String {
-    let width = rows
-        .iter()
-        .map(|r| r.benchmark.len())
-        .max()
-        .unwrap_or(0);
+    let width = rows.iter().map(|r| r.benchmark.len()).max().unwrap_or(0);
     let mut out = String::new();
     for r in rows {
         let seg = |v: f64| (v / cpi_per_char).round() as usize;
@@ -113,8 +109,13 @@ mod tests {
         let benchmarks: Vec<_> = cpu2017::rate_int()
             .into_iter()
             .filter(|b| {
-                ["505.mcf_r", "520.omnetpp_r", "548.exchange2_r", "538.imagick_r"]
-                    .contains(&b.name())
+                [
+                    "505.mcf_r",
+                    "520.omnetpp_r",
+                    "548.exchange2_r",
+                    "538.imagick_r",
+                ]
+                .contains(&b.name())
             })
             .chain(
                 cpu2017::rate_fp()

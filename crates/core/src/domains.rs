@@ -103,10 +103,7 @@ mod tests {
         benchmarks.extend(cpu2017::speed_int());
         let r = Campaign::quick().measure(
             &benchmarks,
-            &[
-                MachineConfig::skylake_i7_6700(),
-                MachineConfig::sparc_t4(),
-            ],
+            &[MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()],
         );
         (SimilarityAnalysis::from_campaign(&r).unwrap(), benchmarks)
     }

@@ -96,10 +96,7 @@ mod tests {
     use horizon_workloads::cpu2017;
 
     fn machines() -> Vec<MachineConfig> {
-        vec![
-            MachineConfig::skylake_i7_6700(),
-            MachineConfig::sparc_t4(),
-        ]
+        vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()]
     }
 
     fn pick(benchmarks: &[Benchmark]) -> (SimilarityAnalysis, Vec<InputSetChoice>) {

@@ -101,7 +101,12 @@ impl Metric {
 
     /// Data-cache metrics for the Figure 10 scatter plots.
     pub fn dcache_set() -> Vec<Metric> {
-        vec![Metric::L1DMpki, Metric::L2DMpki, Metric::L3Mpki, Metric::DtlbMpmi]
+        vec![
+            Metric::L1DMpki,
+            Metric::L2DMpki,
+            Metric::L3Mpki,
+            Metric::DtlbMpmi,
+        ]
     }
 
     /// Instruction-cache metrics for the Figure 10 scatter plots.
@@ -125,16 +130,12 @@ impl Metric {
             Metric::L3Mpki => c.mpki(c.l3_misses),
             Metric::ItlbMpmi => c.mpmi(c.itlb_misses),
             Metric::DtlbMpmi => c.mpmi(c.dtlb_misses),
-            Metric::LastLevelTlbMpmi => {
-                c.mpmi(c.page_walks_instruction + c.page_walks_data)
-            }
+            Metric::LastLevelTlbMpmi => c.mpmi(c.page_walks_instruction + c.page_walks_data),
             Metric::PageWalksPmi => c.mpmi(c.page_walks_data),
             Metric::BranchMpki => c.branch_mpki(),
             Metric::BranchTakenPki => c.taken_branch_pki(),
             Metric::PctKernel => c.fraction(c.kernel_instructions) * 100.0,
-            Metric::PctUser => {
-                (1.0 - c.fraction(c.kernel_instructions)) * 100.0
-            }
+            Metric::PctUser => (1.0 - c.fraction(c.kernel_instructions)) * 100.0,
             Metric::PctInt => {
                 let non_int = c.loads + c.stores + c.branches + c.fp_ops + c.simd_ops;
                 (1.0 - c.fraction(non_int)) * 100.0
@@ -255,9 +256,7 @@ mod tests {
             + Metric::PctStores.extract(m)
             + Metric::PctBranches.extract(m);
         assert!((total - 100.0).abs() < 0.1, "{total}");
-        assert!(
-            (Metric::PctKernel.extract(m) + Metric::PctUser.extract(m) - 100.0).abs() < 1e-9
-        );
+        assert!((Metric::PctKernel.extract(m) + Metric::PctUser.extract(m) - 100.0).abs() < 1e-9);
     }
 
     #[test]

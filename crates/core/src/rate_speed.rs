@@ -99,10 +99,7 @@ mod tests {
         benchmarks.extend(cpu2017::speed_fp());
         let r = Campaign::quick().measure(
             &benchmarks,
-            &[
-                MachineConfig::skylake_i7_6700(),
-                MachineConfig::sparc_t4(),
-            ],
+            &[MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()],
         );
         (SimilarityAnalysis::from_campaign(&r).unwrap(), benchmarks)
     }
@@ -132,7 +129,10 @@ mod tests {
         assert!(
             divergent < similar,
             "{:?}",
-            pairs.iter().map(|p| (&p.stem, p.distance)).collect::<Vec<_>>()
+            pairs
+                .iter()
+                .map(|p| (&p.stem, p.distance))
+                .collect::<Vec<_>>()
         );
     }
 

@@ -122,9 +122,7 @@ pub fn classify_sensitivity(
     // A benchmark that barely exercises the metric anywhere cannot be
     // sensitive to it, however large its *relative* variation: floor the
     // classification at a small fraction of the strongest exerciser.
-    let mean_of = |w: usize| -> f64 {
-        values.iter().map(|v| v[w]).sum::<f64>() / machines as f64
-    };
+    let mean_of = |w: usize| -> f64 { values.iter().map(|v| v[w]).sum::<f64>() / machines as f64 };
     let strongest = (0..n).map(mean_of).fold(0.0f64, f64::max);
     let floor = strongest * 0.05;
     Ok(result
@@ -134,7 +132,10 @@ pub fn classify_sensitivity(
         .zip(spreads)
         .map(|((w, name), spread)| {
             let per_machine: Vec<f64> = values.iter().map(|v| v[w]).collect();
-            let max = per_machine.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let max = per_machine
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             let min = per_machine.iter().cloned().fold(f64::INFINITY, f64::min);
             let relative_range = if max + min > 0.0 {
                 (max - min) / (max + min)
@@ -222,8 +223,7 @@ mod tests {
     fn spread_is_bounded() {
         let r = campaign();
         let s =
-            classify_sensitivity(&r, Metric::BranchMpki, SensitivityThresholds::default())
-                .unwrap();
+            classify_sensitivity(&r, Metric::BranchMpki, SensitivityThresholds::default()).unwrap();
         let max = (r.workloads().len() - 1) as f64;
         for x in &s {
             assert!(x.rank_spread >= 0.0 && x.rank_spread <= max);
@@ -236,11 +236,8 @@ mod tests {
             &cpu2017::rate_fp()[..3],
             &[MachineConfig::skylake_i7_6700()],
         );
-        assert!(classify_sensitivity(
-            &r,
-            Metric::L1DMpki,
-            SensitivityThresholds::default()
-        )
-        .is_err());
+        assert!(
+            classify_sensitivity(&r, Metric::L1DMpki, SensitivityThresholds::default()).is_err()
+        );
     }
 }

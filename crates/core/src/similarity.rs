@@ -73,16 +73,11 @@ impl SimilarityAnalysis {
     ) -> Result<Self, CoreError> {
         if names.len() != features.rows() {
             return Err(CoreError::InvalidArgument {
-                reason: format!(
-                    "{} names for {} feature rows",
-                    names.len(),
-                    features.rows()
-                ),
+                reason: format!("{} names for {} feature rows", names.len(), features.rows()),
             });
         }
         let pca = Pca::fit(features, retention)?;
-        let distances =
-            DistanceMatrix::from_observations(pca.scores(), DistanceMetric::Euclidean);
+        let distances = DistanceMatrix::from_observations(pca.scores(), DistanceMetric::Euclidean);
         let tree = cluster(&distances, linkage)?;
         let feature_labels = (0..features.cols()).map(|i| format!("f{i}")).collect();
         Ok(SimilarityAnalysis {
@@ -165,11 +160,19 @@ impl SimilarityAnalysis {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidArgument`] if a PC index is not retained.
-    pub fn pc_scatter(&self, pc_x: usize, pc_y: usize) -> Result<Vec<(String, f64, f64)>, CoreError> {
+    pub fn pc_scatter(
+        &self,
+        pc_x: usize,
+        pc_y: usize,
+    ) -> Result<Vec<(String, f64, f64)>, CoreError> {
         let k = self.pca.components();
         if pc_x >= k || pc_y >= k {
             return Err(CoreError::InvalidArgument {
-                reason: format!("PC{}/{} requested but only {k} retained", pc_x + 1, pc_y + 1),
+                reason: format!(
+                    "PC{}/{} requested but only {k} retained",
+                    pc_x + 1,
+                    pc_y + 1
+                ),
             });
         }
         let scores = self.pca.scores();
@@ -191,11 +194,7 @@ impl SimilarityAnalysis {
     pub fn dominant_features(&self, pc: usize, k: usize) -> Result<Vec<(String, f64)>, CoreError> {
         if pc >= self.pca.components() {
             return Err(CoreError::InvalidArgument {
-                reason: format!(
-                    "PC{} not retained (have {})",
-                    pc + 1,
-                    self.pca.components()
-                ),
+                reason: format!("PC{} not retained (have {})", pc + 1, self.pca.components()),
             });
         }
         let loadings = self.pca.loadings();
@@ -251,7 +250,7 @@ mod tests {
     }
 
     #[test]
-    fn kaiser_retains_high_variance(){
+    fn kaiser_retains_high_variance() {
         let a = analysis();
         // Kaiser-retained PCs cover most variance, like the paper's 91%+.
         assert!(a.pca().coverage() > 0.7, "{}", a.pca().coverage());

@@ -52,10 +52,7 @@ impl Subset {
 /// println!("run only: {}", subset.representatives.join(", "));
 /// # Ok::<(), horizon_core::CoreError>(())
 /// ```
-pub fn representative_subset(
-    analysis: &SimilarityAnalysis,
-    k: usize,
-) -> Result<Subset, CoreError> {
+pub fn representative_subset(analysis: &SimilarityAnalysis, k: usize) -> Result<Subset, CoreError> {
     let n = analysis.names().len();
     if k == 0 || k > n {
         return Err(CoreError::InvalidArgument {
@@ -157,10 +154,7 @@ pub fn subset_for_budget(
             continue;
         }
     }
-    best.map_or_else(
-        || representative_subset(analysis, 1),
-        Ok,
-    )
+    best.map_or_else(|| representative_subset(analysis, 1), Ok)
 }
 
 #[cfg(test)]

@@ -192,11 +192,8 @@ impl SpeedupTable {
             .map(|(system, row)| {
                 let full = geometric_mean(row)?;
                 let total_w: f64 = indices.iter().map(|(_, w)| w).sum();
-                let log_mean: f64 = indices
-                    .iter()
-                    .map(|&(i, w)| w * row[i].ln())
-                    .sum::<f64>()
-                    / total_w;
+                let log_mean: f64 =
+                    indices.iter().map(|&(i, w)| w * row[i].ln()).sum::<f64>() / total_w;
                 Ok(SystemScore {
                     system: system.clone(),
                     full_score: full,
@@ -212,11 +209,7 @@ impl SpeedupTable {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidArgument`] for out-of-range `k`.
-    pub fn validate_random(
-        &self,
-        k: usize,
-        seed: u64,
-    ) -> Result<Vec<SystemScore>, CoreError> {
+    pub fn validate_random(&self, k: usize, seed: u64) -> Result<Vec<SystemScore>, CoreError> {
         let n = self.benchmark_names.len();
         if k == 0 || k > n {
             return Err(CoreError::InvalidArgument {

@@ -22,53 +22,50 @@ fn arbitrary_counters() -> impl Strategy<Value = Counters> {
         0.0..1.0f64,  // L3 miss ratio
         0u64..20_000, // TLB walk scale
     )
-        .prop_map(
-            |(instructions, fl, fs, fb, ff, m1, m2, m3, walks)| {
-                let frac = |f: f64| (instructions as f64 * f) as u64;
-                let (loads, stores, branches, fp_ops) =
-                    (frac(fl), frac(fs), frac(fb), frac(ff));
-                let l1d_accesses = loads + stores;
-                let l1d_misses = (l1d_accesses as f64 * m1) as u64;
-                let l2d_misses = (l1d_misses as f64 * m2) as u64;
-                let l3_accesses = l2d_misses + (instructions as f64 * m1 * m2 / 64.0) as u64;
-                let l3_misses = (l3_accesses as f64 * m3) as u64;
-                Counters {
-                    instructions,
-                    loads,
-                    stores,
-                    branches,
-                    taken_branches: branches / 2,
-                    mispredicts: branches / 20,
-                    fp_ops,
-                    simd_ops: fp_ops / 4,
-                    kernel_instructions: instructions / 50,
-                    l1i_accesses: instructions,
-                    l1i_misses: (instructions as f64 * m1 / 32.0) as u64,
-                    l1d_accesses,
-                    l1d_misses,
-                    l2i_accesses: (instructions as f64 * m1 / 32.0) as u64,
-                    l2i_misses: (instructions as f64 * m1 * m2 / 64.0) as u64,
-                    l2d_accesses: l1d_misses,
-                    l2d_misses,
-                    l3_accesses,
-                    l3_misses,
-                    memory_accesses: l3_misses,
-                    itlb_misses: walks / 2,
-                    dtlb_misses: walks,
-                    page_walks_instruction: walks / 4,
-                    page_walks_data: walks / 2,
-                    dependency_intensity: 0.4,
-                    freq_ghz: 2.5,
-                    cpi_stack: CpiStack {
-                        base: 0.25,
-                        frontend: 0.1,
-                        bad_speculation: 0.05,
-                        memory: 0.2,
-                        core: 0.1,
-                    },
-                }
-            },
-        )
+        .prop_map(|(instructions, fl, fs, fb, ff, m1, m2, m3, walks)| {
+            let frac = |f: f64| (instructions as f64 * f) as u64;
+            let (loads, stores, branches, fp_ops) = (frac(fl), frac(fs), frac(fb), frac(ff));
+            let l1d_accesses = loads + stores;
+            let l1d_misses = (l1d_accesses as f64 * m1) as u64;
+            let l2d_misses = (l1d_misses as f64 * m2) as u64;
+            let l3_accesses = l2d_misses + (instructions as f64 * m1 * m2 / 64.0) as u64;
+            let l3_misses = (l3_accesses as f64 * m3) as u64;
+            Counters {
+                instructions,
+                loads,
+                stores,
+                branches,
+                taken_branches: branches / 2,
+                mispredicts: branches / 20,
+                fp_ops,
+                simd_ops: fp_ops / 4,
+                kernel_instructions: instructions / 50,
+                l1i_accesses: instructions,
+                l1i_misses: (instructions as f64 * m1 / 32.0) as u64,
+                l1d_accesses,
+                l1d_misses,
+                l2i_accesses: (instructions as f64 * m1 / 32.0) as u64,
+                l2i_misses: (instructions as f64 * m1 * m2 / 64.0) as u64,
+                l2d_accesses: l1d_misses,
+                l2d_misses,
+                l3_accesses,
+                l3_misses,
+                memory_accesses: l3_misses,
+                itlb_misses: walks / 2,
+                dtlb_misses: walks,
+                page_walks_instruction: walks / 4,
+                page_walks_data: walks / 2,
+                dependency_intensity: 0.4,
+                freq_ghz: 2.5,
+                cpi_stack: CpiStack {
+                    base: 0.25,
+                    frontend: 0.1,
+                    bad_speculation: 0.05,
+                    memory: 0.2,
+                    core: 0.1,
+                },
+            }
+        })
 }
 
 proptest! {

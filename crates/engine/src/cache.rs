@@ -1,0 +1,164 @@
+//! Optional on-disk measurement cache.
+//!
+//! One JSON file per job fingerprint, `<dir>/<fingerprint>.json`, holding a
+//! versioned envelope around the serialized [`Measurement`]. The cache is
+//! strictly best-effort and self-validating: a missing, unreadable,
+//! corrupted, version-skewed, or mis-keyed file is treated as a miss and
+//! the job is re-simulated, then the entry is rewritten. Because
+//! simulation is deterministic, a valid entry is interchangeable with a
+//! fresh simulation, so cache state can never change campaign results.
+
+use horizon_core::campaign::Measurement;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::fingerprint::{Fingerprint, SCHEMA_VERSION};
+
+/// Envelope stored per cached job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    /// Must equal [`SCHEMA_VERSION`]; older entries are stale.
+    version: u32,
+    /// Must match the file's fingerprint; guards against renamed files.
+    fingerprint: String,
+    /// The cached simulation result.
+    measurement: Measurement,
+}
+
+/// A directory of cached measurements.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, fingerprint: &Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fingerprint}.json"))
+    }
+
+    /// Loads a measurement, returning `None` on any validation failure
+    /// (absent, unreadable, unparseable, stale version, wrong key).
+    pub fn load(&self, fingerprint: &Fingerprint) -> Option<Measurement> {
+        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.version != SCHEMA_VERSION || entry.fingerprint != fingerprint.as_str() {
+            return None;
+        }
+        Some(entry.measurement)
+    }
+
+    /// Stores a measurement. Best-effort: reports success, and leaves any
+    /// prior entry untouched on failure (writes go through a temp file and
+    /// an atomic rename, so readers never see partial JSON).
+    pub fn store(&self, fingerprint: &Fingerprint, measurement: &Measurement) -> bool {
+        let entry = CacheEntry {
+            version: SCHEMA_VERSION,
+            fingerprint: fingerprint.as_str().to_string(),
+            measurement: measurement.clone(),
+        };
+        let Ok(text) = serde_json::to_string_pretty(&entry) else {
+            return false;
+        };
+        let path = self.entry_path(fingerprint);
+        let tmp = self.dir.join(format!(".{fingerprint}.tmp"));
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        };
+        let ok = write().is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use horizon_core::campaign::Campaign;
+    use horizon_uarch::MachineConfig;
+
+    fn sample() -> (Fingerprint, Measurement) {
+        let campaign = Campaign {
+            instructions: 20_000,
+            warmup: 5_000,
+            seed: 7,
+        };
+        let profile = horizon_workloads::cpu2017::all()[0].profile().clone();
+        let machine = MachineConfig::skylake_i7_6700();
+        let fp = Fingerprint::of_job(&campaign, &profile, &machine);
+        let m = campaign.measure_one(&profile, &machine);
+        (fp, m)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "horizon-engine-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        let (fp, m) = sample();
+        assert!(cache.load(&fp).is_none());
+        assert!(cache.store(&fp, &m));
+        assert_eq!(cache.load(&fp).as_ref(), Some(&m));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_and_stale_entries_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        let (fp, m) = sample();
+        assert!(cache.store(&fp, &m));
+        let path = dir.join(format!("{fp}.json"));
+
+        // Truncated JSON.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load(&fp).is_none());
+
+        // Valid JSON, stale schema version.
+        std::fs::write(&path, full.replacen("\"version\": 1", "\"version\": 0", 1)).unwrap();
+        assert!(cache.load(&fp).is_none());
+
+        // Valid JSON, wrong fingerprint (renamed file).
+        std::fs::write(&path, full.replace(fp.as_str(), &"0".repeat(32))).unwrap();
+        assert!(cache.load(&fp).is_none());
+
+        // Not JSON at all.
+        std::fs::write(&path, "not json").unwrap();
+        assert!(cache.load(&fp).is_none());
+
+        // Re-storing repairs the entry.
+        assert!(cache.store(&fp, &m));
+        assert_eq!(cache.load(&fp).as_ref(), Some(&m));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,346 @@
+//! Memoizing, work-stealing campaign execution engine.
+//!
+//! The builtin backend in `horizon-core` simulates every (workload,
+//! machine) grid cell of every campaign, even when experiments overlap —
+//! `repro all` re-simulates the full Table IV grid many times. This crate
+//! replaces that with a three-layer engine:
+//!
+//! 1. **Expansion + deduplication** — a campaign expands into jobs keyed
+//!    by a content [`Fingerprint`] of `(workload profile, machine config,
+//!    window, warmup, seed)`; identical cells collapse to one job.
+//! 2. **Work stealing** — pending jobs land in a flat vector and workers
+//!    claim them through an atomic cursor, so a slow job (e.g. a 43rd
+//!    workload on the largest machine) never idles the other threads the
+//!    way per-call static chunking did. Worker count comes from an
+//!    explicit override ([`Engine::with_jobs`]), else `HORIZON_JOBS`, else
+//!    the machine's available parallelism.
+//! 3. **Memoization** — results are kept in an in-memory memo table and,
+//!    optionally, an on-disk JSON cache ([`DiskCache`]), so each unique
+//!    job simulates exactly once per process (and at most once per cache
+//!    lifetime across processes).
+//!
+//! # Determinism
+//!
+//! Campaign results are **bit-identical regardless of thread count, job
+//! ordering, or cache state**. This holds because each job's measurement
+//! is a pure function of its fingerprinted inputs: simulation is
+//! deterministic given `(profile, machine, window, warmup, seed)`; workers
+//! share nothing but the job queue; the JSON cache round-trips every
+//! counter and float losslessly (text-preserved integers,
+//! shortest-round-trip floats); and grids are assembled by cell index, not
+//! completion order. Scheduling and caching decide only *when and whether*
+//! a job is simulated, never *what it computes*.
+//!
+//! Install an engine process-wide with [`Engine::install`] to route every
+//! `Campaign::measure` / `measure_profiles` call through it, or call
+//! [`Engine::measure_profiles`] directly.
+
+#![forbid(unsafe_code)]
+
+mod cache;
+mod fingerprint;
+mod stats;
+
+pub use cache::DiskCache;
+pub use fingerprint::{Fingerprint, SCHEMA_VERSION};
+pub use stats::{EngineStats, JobTiming};
+
+use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
+use horizon_trace::WorkloadProfile;
+use horizon_uarch::MachineConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Progress report for one resolved job.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Jobs resolved so far in this campaign (including this one).
+    pub completed: usize,
+    /// Unique jobs in this campaign.
+    pub total: usize,
+    /// Workload name of the job.
+    pub workload: String,
+    /// Machine name of the job.
+    pub machine: String,
+    /// True when served from memo or disk cache rather than simulated.
+    pub cached: bool,
+}
+
+type ProgressCallback = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
+
+/// The execution engine. Cheap to construct; hold one for the process
+/// lifetime to maximize memoization.
+pub struct Engine {
+    jobs: Option<usize>,
+    disk: Option<DiskCache>,
+    memo: Mutex<HashMap<Fingerprint, Measurement>>,
+    stats: Mutex<EngineStats>,
+    progress: Option<ProgressCallback>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with in-memory memoization only and automatic worker
+    /// count.
+    pub fn new() -> Self {
+        Engine {
+            jobs: None,
+            disk: None,
+            memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+            progress: None,
+        }
+    }
+
+    /// Pins the worker count (overrides `HORIZON_JOBS` and auto-detection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is zero.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        assert!(jobs > 0, "worker count must be positive");
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Attaches an on-disk cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.disk = Some(DiskCache::open(dir)?);
+        Ok(self)
+    }
+
+    /// Registers a progress callback, invoked once per unique job as it
+    /// resolves (possibly from worker threads).
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        callback: impl Fn(&ProgressEvent) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs this engine as the process-wide campaign executor.
+    pub fn install(self: Arc<Self>) {
+        horizon_core::campaign::install_executor(self);
+    }
+
+    /// A snapshot of cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().expect("stats lock").clone()
+    }
+
+    /// Clears accumulated statistics (the memo table is kept).
+    pub fn reset_stats(&self) {
+        *self.stats.lock().expect("stats lock") = EngineStats::default();
+    }
+
+    /// The worker count the engine would use for `pending` runnable jobs.
+    pub fn worker_count(&self, pending: usize) -> usize {
+        let configured = self
+            .jobs
+            .or_else(|| {
+                std::env::var("HORIZON_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        configured.max(1).min(pending.max(1))
+    }
+
+    /// Measures the full grid, deduplicating, memoizing and running misses
+    /// on the work-stealing pool. Semantically identical to
+    /// `Campaign::measure_profiles_builtin`, bit for bit.
+    pub fn measure_profiles(
+        &self,
+        campaign: &Campaign,
+        profiles: &[WorkloadProfile],
+        machines: &[MachineConfig],
+    ) -> CampaignResult {
+        let call_start = Instant::now();
+
+        // Phase 1: expand the grid into de-duplicated jobs.
+        let mut job_index: HashMap<Fingerprint, usize> = HashMap::new();
+        // job id -> (profile index, machine index) of its first occurrence.
+        let mut jobs: Vec<(usize, usize)> = Vec::new();
+        let mut fingerprints: Vec<Fingerprint> = Vec::new();
+        let mut cell_jobs: Vec<Vec<usize>> = Vec::with_capacity(profiles.len());
+        for (w, profile) in profiles.iter().enumerate() {
+            let mut row = Vec::with_capacity(machines.len());
+            for (m, machine) in machines.iter().enumerate() {
+                let fp = Fingerprint::of_job(campaign, profile, machine);
+                let id = *job_index.entry(fp.clone()).or_insert_with(|| {
+                    jobs.push((w, m));
+                    fingerprints.push(fp);
+                    jobs.len() - 1
+                });
+                row.push(id);
+            }
+            cell_jobs.push(row);
+        }
+
+        // Phase 2: serve jobs from the memo table, then the disk cache.
+        let mut resolved: Vec<Option<Measurement>> = vec![None; jobs.len()];
+        let mut memo_hits = 0u64;
+        let mut disk_hits = 0u64;
+        {
+            let memo = self.memo.lock().expect("memo lock");
+            for (id, fp) in fingerprints.iter().enumerate() {
+                if let Some(m) = memo.get(fp) {
+                    resolved[id] = Some(m.clone());
+                    memo_hits += 1;
+                }
+            }
+        }
+        if let Some(disk) = &self.disk {
+            for (id, fp) in fingerprints.iter().enumerate() {
+                if resolved[id].is_none() {
+                    if let Some(m) = disk.load(fp) {
+                        resolved[id] = Some(m);
+                        disk_hits += 1;
+                    }
+                }
+            }
+        }
+
+        let completed = AtomicUsize::new(0);
+        let total = jobs.len();
+        for (id, m) in resolved.iter().enumerate() {
+            if m.is_some() {
+                let (w, mach) = jobs[id];
+                self.emit_progress(&completed, total, &profiles[w], &machines[mach], true);
+            }
+        }
+
+        // Phase 3: simulate the misses on the work-stealing pool. Workers
+        // claim jobs through an atomic cursor over the flat miss list;
+        // results land in per-job slots, so ordering never matters.
+        let misses: Vec<usize> = (0..jobs.len())
+            .filter(|&id| resolved[id].is_none())
+            .collect();
+        let slots: Vec<OnceLock<(Measurement, u64)>> =
+            misses.iter().map(|_| OnceLock::new()).collect();
+        if !misses.is_empty() {
+            let workers = self.worker_count(misses.len());
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        if slot >= misses.len() {
+                            break;
+                        }
+                        let (w, m) = jobs[misses[slot]];
+                        let job_start = Instant::now();
+                        let measurement = campaign.measure_one(&profiles[w], &machines[m]);
+                        let wall_nanos = job_start.elapsed().as_nanos() as u64;
+                        slots[slot]
+                            .set((measurement, wall_nanos))
+                            .expect("each slot is claimed once");
+                        self.emit_progress(&completed, total, &profiles[w], &machines[m], false);
+                    });
+                }
+            });
+        }
+
+        // Phase 4: integrate results into memo, disk cache and stats.
+        let mut timings = Vec::with_capacity(misses.len());
+        {
+            let mut memo = self.memo.lock().expect("memo lock");
+            for (slot, &id) in misses.iter().enumerate() {
+                let (measurement, wall_nanos) = slots[slot].get().expect("all jobs ran").clone();
+                let fp = &fingerprints[id];
+                if let Some(disk) = &self.disk {
+                    disk.store(fp, &measurement);
+                }
+                memo.insert(fp.clone(), measurement.clone());
+                let (w, m) = jobs[id];
+                timings.push(JobTiming {
+                    workload: profiles[w].name().to_string(),
+                    machine: machines[m].name.clone(),
+                    wall_nanos,
+                    instructions: campaign.instructions + campaign.warmup,
+                });
+                resolved[id] = Some(measurement);
+            }
+        }
+
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            stats.campaigns += 1;
+            stats.cells += (profiles.len() * machines.len()) as u64;
+            stats.unique_jobs += jobs.len() as u64;
+            stats.simulated_jobs += misses.len() as u64;
+            stats.memo_hits += memo_hits;
+            stats.disk_hits += disk_hits;
+            for t in &timings {
+                stats.simulated_instructions += t.instructions;
+                stats.simulation_wall_nanos += t.wall_nanos;
+            }
+            stats.elapsed_nanos += call_start.elapsed().as_nanos() as u64;
+            stats.job_timings.extend(timings);
+        }
+
+        // Phase 5: assemble the grid by cell index.
+        let workload_names = profiles.iter().map(|p| p.name().to_string()).collect();
+        let machine_names = machines.iter().map(|m| m.name.clone()).collect();
+        let grid = cell_jobs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&id| resolved[id].clone().expect("job resolved"))
+                    .collect()
+            })
+            .collect();
+        CampaignResult::from_grid(workload_names, machine_names, grid)
+    }
+
+    fn emit_progress(
+        &self,
+        completed: &AtomicUsize,
+        total: usize,
+        profile: &WorkloadProfile,
+        machine: &MachineConfig,
+        cached: bool,
+    ) {
+        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(callback) = &self.progress {
+            callback(&ProgressEvent {
+                completed: done,
+                total,
+                workload: profile.name().to_string(),
+                machine: machine.name.clone(),
+                cached,
+            });
+        }
+    }
+}
+
+impl CampaignExecutor for Engine {
+    fn measure_profiles(
+        &self,
+        campaign: &Campaign,
+        profiles: &[WorkloadProfile],
+        machines: &[MachineConfig],
+    ) -> CampaignResult {
+        Engine::measure_profiles(self, campaign, profiles, machines)
+    }
+}

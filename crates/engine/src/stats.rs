@@ -1,0 +1,163 @@
+//! Run statistics for the execution engine.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Wall time of one simulated job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Machine name.
+    pub machine: String,
+    /// Wall-clock nanoseconds spent simulating the job.
+    pub wall_nanos: u64,
+    /// Instructions simulated (measurement window plus warmup).
+    pub instructions: u64,
+}
+
+/// Cumulative statistics across every campaign an engine has executed.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Campaigns executed.
+    pub campaigns: u64,
+    /// Grid cells served (workload × machine pairs, pre-deduplication).
+    pub cells: u64,
+    /// Distinct job fingerprints encountered.
+    pub unique_jobs: u64,
+    /// Jobs actually simulated (memo/disk misses).
+    pub simulated_jobs: u64,
+    /// Jobs served from the in-memory memo table.
+    pub memo_hits: u64,
+    /// Jobs served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Instructions simulated (window + warmup, summed over simulated jobs).
+    pub simulated_instructions: u64,
+    /// Summed per-job simulation wall time, in nanoseconds. With N workers
+    /// this exceeds elapsed time by up to a factor of N.
+    pub simulation_wall_nanos: u64,
+    /// Wall time spent inside engine campaign calls, in nanoseconds.
+    pub elapsed_nanos: u64,
+    /// Per-job wall-time records, in completion order.
+    pub job_timings: Vec<JobTiming>,
+}
+
+impl EngineStats {
+    /// Cache hits (memo + disk) over unique jobs, in `[0, 1]`; zero when
+    /// nothing has run.
+    pub fn hit_rate(&self) -> f64 {
+        if self.unique_jobs == 0 {
+            return 0.0;
+        }
+        (self.memo_hits + self.disk_hits) as f64 / self.unique_jobs as f64
+    }
+
+    /// Total cache hits (memo + disk).
+    pub fn cache_hits(&self) -> u64 {
+        self.memo_hits + self.disk_hits
+    }
+
+    /// Aggregate simulation throughput: simulated instructions per second
+    /// of summed simulation wall time (zero when nothing was simulated).
+    pub fn instructions_per_second(&self) -> f64 {
+        if self.simulation_wall_nanos == 0 {
+            return 0.0;
+        }
+        self.simulated_instructions as f64 / (self.simulation_wall_nanos as f64 / 1e9)
+    }
+
+    /// Summed simulation wall time.
+    pub fn simulation_wall(&self) -> Duration {
+        Duration::from_nanos(self.simulation_wall_nanos)
+    }
+
+    /// Wall time spent inside engine campaign calls.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_nanos)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("engine stats:\n");
+        out.push_str(&format!(
+            "  campaigns:       {}\n  grid cells:      {}\n  unique jobs:     {}\n",
+            self.campaigns, self.cells, self.unique_jobs
+        ));
+        out.push_str(&format!(
+            "  simulated:       {}\n  memo hits:       {}\n  disk hits:       {}\n",
+            self.simulated_jobs, self.memo_hits, self.disk_hits
+        ));
+        out.push_str(&format!(
+            "  hit rate:        {:.1}%\n",
+            self.hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "  simulated instr: {} ({:.2} M/s)\n",
+            self.simulated_instructions,
+            self.instructions_per_second() / 1e6
+        ));
+        out.push_str(&format!(
+            "  sim wall:        {:.3} s (elapsed {:.3} s)",
+            self.simulation_wall().as_secs_f64(),
+            self.elapsed().as_secs_f64()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = EngineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.instructions_per_second(), 0.0);
+        assert!(s.summary().contains("unique jobs:     0"));
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = EngineStats {
+            campaigns: 2,
+            cells: 10,
+            unique_jobs: 8,
+            simulated_jobs: 2,
+            memo_hits: 5,
+            disk_hits: 1,
+            simulated_instructions: 2_000_000,
+            simulation_wall_nanos: 500_000_000,
+            elapsed_nanos: 250_000_000,
+            job_timings: vec![],
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.cache_hits(), 6);
+        assert!((s.instructions_per_second() - 4_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let s = EngineStats {
+            campaigns: 1,
+            cells: 4,
+            unique_jobs: 4,
+            simulated_jobs: 4,
+            memo_hits: 0,
+            disk_hits: 0,
+            simulated_instructions: 100,
+            simulation_wall_nanos: 42,
+            elapsed_nanos: 43,
+            job_timings: vec![JobTiming {
+                workload: "w".into(),
+                machine: "m".into(),
+                wall_nanos: 42,
+                instructions: 100,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&s).unwrap();
+        let back: EngineStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,225 @@
+//! Engine-level guarantees: bit-identical results regardless of worker
+//! count or cache state, exactly-once simulation, and graceful fallback
+//! when the on-disk cache is damaged.
+
+use horizon_core::campaign::Campaign;
+use horizon_engine::Engine;
+use horizon_trace::WorkloadProfile;
+use horizon_uarch::MachineConfig;
+use horizon_workloads::cpu2017;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn profiles() -> Vec<WorkloadProfile> {
+    cpu2017::speed_int()
+        .iter()
+        .take(4)
+        .map(|b| b.profile().clone())
+        .collect()
+}
+
+fn machines() -> Vec<MachineConfig> {
+    vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()]
+}
+
+fn campaign() -> Campaign {
+    Campaign {
+        instructions: 20_000,
+        warmup: 5_000,
+        seed: 42,
+    }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "horizon-engine-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn results_are_bit_identical_across_worker_counts_and_match_builtin() {
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+    let builtin = campaign.measure_profiles_builtin(&profiles, &machines);
+
+    let serial = Engine::new()
+        .with_jobs(1)
+        .measure_profiles(&campaign, &profiles, &machines);
+    let parallel = Engine::new()
+        .with_jobs(7)
+        .measure_profiles(&campaign, &profiles, &machines);
+
+    assert_eq!(serial, builtin, "--jobs 1 must reproduce the builtin grid");
+    assert_eq!(
+        parallel, builtin,
+        "--jobs 7 must reproduce the builtin grid"
+    );
+}
+
+#[test]
+fn memo_serves_repeat_campaigns_without_resimulating() {
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+
+    let engine = Engine::new();
+    let first = engine.measure_profiles(&campaign, &profiles, &machines);
+    let after_first = engine.stats();
+    let second = engine.measure_profiles(&campaign, &profiles, &machines);
+    let after_second = engine.stats();
+
+    assert_eq!(first, second);
+    let unique = (profiles.len() * machines.len()) as u64;
+    assert_eq!(after_first.simulated_jobs, unique);
+    assert_eq!(
+        after_second.simulated_jobs, unique,
+        "repeat campaign must not simulate anything"
+    );
+    assert_eq!(after_second.memo_hits, unique);
+    assert_eq!(after_second.cells, 2 * unique);
+}
+
+#[test]
+fn cold_and_warm_disk_cache_produce_identical_results() {
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+    let dir = scratch_dir("warm");
+
+    // Cold: fresh directory, everything simulates.
+    let cold_engine = Engine::new().with_cache_dir(&dir).unwrap();
+    let cold = cold_engine.measure_profiles(&campaign, &profiles, &machines);
+    assert_eq!(
+        cold_engine.stats().simulated_jobs,
+        (profiles.len() * machines.len()) as u64
+    );
+
+    // Warm: a brand-new engine (empty memo) reads every job from disk.
+    let warm_engine = Engine::new().with_cache_dir(&dir).unwrap();
+    let warm = warm_engine.measure_profiles(&campaign, &profiles, &machines);
+    let stats = warm_engine.stats();
+    assert_eq!(warm, cold, "warm-cache grid must be bit-identical");
+    assert_eq!(stats.simulated_jobs, 0);
+    assert_eq!(stats.disk_hits, (profiles.len() * machines.len()) as u64);
+    assert!(stats.hit_rate() > 0.99);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_cache_files_fall_back_to_resimulation() {
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+    let dir = scratch_dir("corrupt");
+
+    let engine = Engine::new().with_cache_dir(&dir).unwrap();
+    let expected = engine.measure_profiles(&campaign, &profiles, &machines);
+
+    // Vandalize every cache file a different way.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), profiles.len() * machines.len());
+    for (i, path) in entries.iter().enumerate() {
+        match i % 3 {
+            0 => std::fs::write(path, "not json at all").unwrap(),
+            1 => {
+                // Truncate mid-document.
+                let text = std::fs::read_to_string(path).unwrap();
+                std::fs::write(path, &text[..text.len() / 2]).unwrap();
+            }
+            _ => std::fs::write(path, "{\"version\": 999}").unwrap(),
+        }
+    }
+
+    let recovered_engine = Engine::new().with_cache_dir(&dir).unwrap();
+    let recovered = recovered_engine.measure_profiles(&campaign, &profiles, &machines);
+    let stats = recovered_engine.stats();
+    assert_eq!(recovered, expected, "re-simulated grid must be identical");
+    assert_eq!(stats.disk_hits, 0, "no damaged entry may be served");
+    assert_eq!(
+        stats.simulated_jobs,
+        (profiles.len() * machines.len()) as u64
+    );
+
+    // The engine also repairs the cache as it re-simulates.
+    let repaired_engine = Engine::new().with_cache_dir(&dir).unwrap();
+    let repaired = repaired_engine.measure_profiles(&campaign, &profiles, &machines);
+    assert_eq!(repaired, expected);
+    assert_eq!(
+        repaired_engine.stats().disk_hits,
+        (profiles.len() * machines.len()) as u64
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn duplicate_grid_cells_collapse_to_one_job() {
+    let campaign = campaign();
+    let mut profiles = profiles();
+    // Same workload listed twice: a real occurrence in `repro all`, where
+    // overlapping experiments share benchmarks.
+    profiles.push(profiles[0].clone());
+    let machines = machines();
+
+    let engine = Engine::new();
+    let result = engine.measure_profiles(&campaign, &profiles, &machines);
+    let stats = engine.stats();
+
+    assert_eq!(stats.cells, (profiles.len() * machines.len()) as u64);
+    assert_eq!(
+        stats.unique_jobs,
+        ((profiles.len() - 1) * machines.len()) as u64,
+        "duplicate rows must deduplicate"
+    );
+    assert_eq!(stats.simulated_jobs, stats.unique_jobs);
+    // The duplicated rows carry identical measurements.
+    for m in 0..machines.len() {
+        assert_eq!(result.at(0, m), result.at(profiles.len() - 1, m));
+    }
+}
+
+#[test]
+fn progress_callback_sees_every_job_exactly_once() {
+    use std::sync::Mutex;
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+
+    let events: std::sync::Arc<Mutex<Vec<(String, String, bool)>>> =
+        std::sync::Arc::new(Mutex::new(Vec::new()));
+    let sink = std::sync::Arc::clone(&events);
+    let engine = Engine::new().with_jobs(3).with_progress(move |e| {
+        sink.lock()
+            .unwrap()
+            .push((e.workload.clone(), e.machine.clone(), e.cached));
+    });
+
+    engine.measure_profiles(&campaign, &profiles, &machines);
+    engine.measure_profiles(&campaign, &profiles, &machines);
+
+    let events = events.lock().unwrap();
+    let total = profiles.len() * machines.len();
+    assert_eq!(events.len(), 2 * total);
+    assert_eq!(
+        events.iter().filter(|(_, _, cached)| !cached).count(),
+        total
+    );
+    assert_eq!(
+        events.iter().filter(|(_, _, cached)| *cached).count(),
+        total
+    );
+}

@@ -174,7 +174,10 @@ impl DistanceMatrix {
     /// Panics if `i` is out of bounds or there is only one observation.
     pub fn mean_distance_from(&self, i: usize) -> f64 {
         assert!(self.n > 1, "need at least two observations");
-        let sum: f64 = (0..self.n).filter(|&j| j != i).map(|j| self.get(i, j)).sum();
+        let sum: f64 = (0..self.n)
+            .filter(|&j| j != i)
+            .map(|j| self.get(i, j))
+            .sum();
         sum / (self.n - 1) as f64
     }
 

@@ -313,7 +313,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for i in 0..n {

@@ -92,11 +92,7 @@ impl Pca {
     /// # Errors
     ///
     /// Same as [`Pca::fit`].
-    pub fn fit_with(
-        x: &Matrix,
-        retention: Retention,
-        basis: PcaBasis,
-    ) -> Result<Self, StatsError> {
+    pub fn fit_with(x: &Matrix, retention: Retention, basis: PcaBasis) -> Result<Self, StatsError> {
         if x.rows() < 2 {
             return Err(StatsError::Empty);
         }
@@ -359,12 +355,7 @@ mod tests {
 
     #[test]
     fn handles_constant_features() {
-        let x = Matrix::from_rows(vec![
-            vec![1.0, 5.0],
-            vec![2.0, 5.0],
-            vec![3.0, 5.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]]).unwrap();
         let pca = Pca::fit(&x, Retention::Kaiser).unwrap();
         assert!(pca.scores().is_finite());
     }

@@ -9,11 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a well-formed observation matrix with bounded values.
 fn obs_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
     (2..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            proptest::collection::vec(-1e3..1e3f64, c..=c),
-            r..=r,
-        )
-        .prop_map(|rows| Matrix::from_rows(rows).expect("well-formed"))
+        proptest::collection::vec(proptest::collection::vec(-1e3..1e3f64, c..=c), r..=r)
+            .prop_map(|rows| Matrix::from_rows(rows).expect("well-formed"))
     })
 }
 

@@ -180,9 +180,9 @@ impl TraceGenerator {
             blocks.push(Block {
                 pc: cursor,
                 len,
-                site: 0,          // assigned below
-                next_taken: 0,    // assigned below
-                phase: 0,         // assigned below
+                site: 0,       // assigned below
+                next_taken: 0, // assigned below
+                phase: 0,      // assigned below
             });
             cursor += (len as u64 + 1) * INSTRUCTION_BYTES;
         }
@@ -382,7 +382,6 @@ impl TraceGenerator {
         }
     }
 
-
     /// Generates a data address according to the region mixture.
     fn data_address(&mut self) -> u64 {
         let pick: f64 = self.rng.gen_range(0.0..self.total_weight);
@@ -540,7 +539,7 @@ mod tests {
         let b = BranchBehavior {
             taken_fraction: 0.7,
             regularity: 0.9,
-                    pattern_share: 0.5,
+            pattern_share: 0.5,
             static_branches: 4096,
             bias_spread: 0.2,
         };
@@ -565,7 +564,10 @@ mod tests {
     fn addresses_stay_within_regions() {
         let p = WorkloadProfile::builder("t")
             .loads(0.5)
-            .regions(vec![Region::random(1 << 16, 1.0), Region::streaming(1 << 14, 1.0, 64)])
+            .regions(vec![
+                Region::random(1 << 16, 1.0),
+                Region::streaming(1 << 14, 1.0, 64),
+            ])
             .build()
             .unwrap();
         let spans: Vec<(u64, u64)> = {
@@ -627,7 +629,11 @@ mod tests {
             .take(n)
             .filter(|i| i.kernel)
             .count();
-        assert!((k as f64 / n as f64 - 0.3).abs() < 0.06, "{}", k as f64 / n as f64);
+        assert!(
+            (k as f64 / n as f64 - 0.3).abs() < 0.06,
+            "{}",
+            k as f64 / n as f64
+        );
         // Kernel instructions fetch from the kernel code range.
         for i in TraceGenerator::new(&p, 9).take(10_000) {
             if i.kernel {
@@ -656,7 +662,9 @@ mod tests {
             .collect();
         // All fetches fall within the 4 KiB footprint.
         assert!(pcs.len() <= 1024, "{} distinct pcs", pcs.len());
-        assert!(pcs.iter().all(|&pc| (CODE_BASE..CODE_BASE + 4096).contains(&pc)));
+        assert!(pcs
+            .iter()
+            .all(|&pc| (CODE_BASE..CODE_BASE + 4096).contains(&pc)));
     }
 
     #[test]
@@ -690,7 +698,7 @@ mod tests {
             let b = BranchBehavior {
                 taken_fraction: 0.5,
                 regularity,
-                    pattern_share: 0.5,
+                pattern_share: 0.5,
                 static_branches: 8192,
                 bias_spread: 0.0,
             };

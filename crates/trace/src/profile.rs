@@ -448,8 +448,7 @@ impl WorkloadProfile {
                 taken_fraction: wmean(&|p| p.branches.taken_fraction),
                 regularity: wmean(&|p| p.branches.regularity),
                 pattern_share: wmean(&|p| p.branches.pattern_share),
-                static_branches: (wmean(&|p| p.branches.static_branches as f64).round()
-                    as usize)
+                static_branches: (wmean(&|p| p.branches.static_branches as f64).round() as usize)
                     .max(1),
                 bias_spread: wmean(&|p| p.branches.bias_spread),
             },
@@ -615,11 +614,11 @@ mod tests {
             Err(ProfileError::InvalidFraction { .. })
         ));
         assert!(matches!(
-            WorkloadProfile::builder("x")
-                .loads(0.6)
-                .stores(0.6)
-                .build(),
-            Err(ProfileError::InvalidFraction { field: "mix (sum)", .. })
+            WorkloadProfile::builder("x").loads(0.6).stores(0.6).build(),
+            Err(ProfileError::InvalidFraction {
+                field: "mix (sum)",
+                ..
+            })
         ));
     }
 
@@ -659,7 +658,10 @@ mod tests {
             hot_fraction: 0.9,
             hot_bytes: 2048,
         };
-        assert!(WorkloadProfile::builder("x").code_model(bad).build().is_err());
+        assert!(WorkloadProfile::builder("x")
+            .code_model(bad)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -677,7 +679,10 @@ mod tests {
     #[test]
     fn memory_footprint_sums_regions() {
         let p = WorkloadProfile::builder("x")
-            .regions(vec![Region::random(4096, 1.0), Region::streaming(8192, 1.0, 64)])
+            .regions(vec![
+                Region::random(4096, 1.0),
+                Region::streaming(8192, 1.0, 64),
+            ])
             .build()
             .unwrap();
         assert_eq!(p.memory().footprint(), 12288);

@@ -5,7 +5,13 @@ use proptest::prelude::*;
 
 /// Strategy for a valid instruction mix (fractions summing below 1).
 fn mix() -> impl Strategy<Value = (f64, f64, f64, f64, f64)> {
-    (0.0..0.4f64, 0.0..0.2f64, 0.0..0.3f64, 0.0..0.05f64, 0.0..0.05f64)
+    (
+        0.0..0.4f64,
+        0.0..0.2f64,
+        0.0..0.3f64,
+        0.0..0.05f64,
+        0.0..0.05f64,
+    )
 }
 
 proptest! {

@@ -100,7 +100,10 @@ mod tests {
         }
         let t_acc = tc as f64 / total as f64;
         let b_acc = bc as f64 / total as f64;
-        assert!(t_acc > b_acc - 0.02, "tournament {t_acc} vs bimodal {b_acc}");
+        assert!(
+            t_acc > b_acc - 0.02,
+            "tournament {t_acc} vs bimodal {b_acc}"
+        );
         assert!(t_acc > 0.9, "{t_acc}");
     }
 
@@ -126,7 +129,9 @@ mod tests {
     fn deterministic() {
         let run = || {
             let mut t = Tournament::new(10, 8);
-            (0..500u64).map(|i| t.execute(0x400 + (i % 9) * 4, i % 4 < 2)).collect::<Vec<_>>()
+            (0..500u64)
+                .map(|i| t.execute(0x400 + (i % 9) * 4, i % 4 < 2))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -389,8 +389,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let machines = MachineConfig::table_iv_machines();
-        let names: std::collections::HashSet<_> =
-            machines.iter().map(|m| m.name.clone()).collect();
+        let names: std::collections::HashSet<_> = machines.iter().map(|m| m.name.clone()).collect();
         assert_eq!(names.len(), 7);
     }
 

@@ -294,7 +294,9 @@ mod tests {
             .unwrap();
         let m = MachineConfig::skylake_i7_6700();
         let cold = CoreSimulator::new(&m).run(&p, 50_000, 3);
-        let warm = CoreSimulator::new(&m).with_warmup(20_000).run(&p, 50_000, 3);
+        let warm = CoreSimulator::new(&m)
+            .with_warmup(20_000)
+            .run(&p, 50_000, 3);
         assert!(warm.l1d_misses < cold.l1d_misses);
         assert_eq!(warm.mpki(warm.l1d_misses).round(), 0.0);
     }
@@ -337,7 +339,7 @@ mod tests {
             .branch_behavior(BranchBehavior {
                 taken_fraction: 0.5,
                 regularity: 0.0,
-                    pattern_share: 0.5,
+                pattern_share: 0.5,
                 static_branches: 8192,
                 bias_spread: 0.2,
             })

@@ -52,7 +52,10 @@ impl Tlb {
         assert!(config.entries > 0 && config.associativity > 0);
         assert!(config.page_bytes.is_power_of_two());
         let sets = config.sets();
-        assert!(sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         Tlb {
             config,
             tags: vec![u64::MAX; (sets * config.associativity) as usize],

@@ -60,8 +60,7 @@ impl CpiStack {
         // between a strongly-overlapped floor and fully-exposed stalls, and
         // the machine's overlap scale models how much of that hiding the
         // core can actually do (in-order cores expose nearly everything).
-        let overlap =
-            ((0.15 + 0.6 * counters.dependency_intensity) * lat.overlap_scale).min(1.0);
+        let overlap = ((0.15 + 0.6 * counters.dependency_intensity) * lat.overlap_scale).min(1.0);
 
         // Front-end: L1I misses that hit L2, I-side deeper misses, I-walks.
         let l1i_to_l2 = per_inst(counters.l1i_misses);

@@ -1438,8 +1438,15 @@ mod tests {
         let speed: f64 = speed_fp().iter().map(|b| b.icount_billions()).sum();
         let rate: f64 = rate_fp()
             .iter()
-            .filter(|b| !["508.namd_r", "510.parest_r", "511.povray_r", "526.blender_r"]
-                .contains(&b.name()))
+            .filter(|b| {
+                ![
+                    "508.namd_r",
+                    "510.parest_r",
+                    "511.povray_r",
+                    "526.blender_r",
+                ]
+                .contains(&b.name())
+            })
             .map(|b| b.icount_billions())
             .sum();
         assert!(speed / rate > 5.0);

@@ -221,7 +221,11 @@ mod tests {
             .max()
             .unwrap();
         for db in [cassandra_ycsb_a(), cassandra_ycsb_c()] {
-            assert!(db.profile().code().hot_bytes >= 8 * max_spec_hot, "{}", db.name());
+            assert!(
+                db.profile().code().hot_bytes >= 8 * max_spec_hot,
+                "{}",
+                db.name()
+            );
             assert!(db.profile().kernel_fraction() > 0.15);
         }
     }

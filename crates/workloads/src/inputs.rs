@@ -168,8 +168,7 @@ pub fn has_multiple_inputs(benchmark: &Benchmark) -> bool {
 /// blend of all input sets (§IV-C).
 pub fn aggregate_profile(benchmark: &Benchmark) -> WorkloadProfile {
     let sets = input_sets(benchmark);
-    let parts: Vec<(&WorkloadProfile, f64)> =
-        sets.iter().map(|s| (&s.profile, s.weight)).collect();
+    let parts: Vec<(&WorkloadProfile, f64)> = sets.iter().map(|s| (&s.profile, s.weight)).collect();
     WorkloadProfile::blend(format!("{}.aggregate", benchmark.name()), &parts)
         .expect("catalog input sets are blendable")
 }
@@ -180,7 +179,10 @@ mod tests {
     use crate::cpu2017;
 
     fn find(name: &str) -> Benchmark {
-        cpu2017::all().into_iter().find(|b| b.name() == name).unwrap()
+        cpu2017::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .unwrap()
     }
 
     #[test]
@@ -242,10 +244,7 @@ mod tests {
         let agg = aggregate_profile(&b);
         assert_eq!(agg.name(), "525.x264_r.aggregate");
         let sets = input_sets(&b);
-        let expect: f64 = sets
-            .iter()
-            .map(|s| s.profile.mix().loads * s.weight)
-            .sum();
+        let expect: f64 = sets.iter().map(|s| s.profile.mix().loads * s.weight).sum();
         assert!((agg.mix().loads - expect).abs() < 1e-9);
     }
 

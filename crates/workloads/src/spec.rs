@@ -70,8 +70,7 @@ impl MemSpec {
         let budget = ((self.l1_mpki - self.l2_mpki).max(0.0)) / acc;
         let w_wide = (budget * self.wide).clamp(0.0, 0.6);
         let w_l2 = (budget * (1.0 - self.wide) / 0.9).clamp(0.0, 0.6);
-        let resident =
-            (1.0 - self.dense - self.line - w_wide - w_l2 - w_l3 - w_dram).max(0.02);
+        let resident = (1.0 - self.dense - self.line - w_wide - w_l2 - w_l3 - w_dram).max(0.02);
         regions.push(Region::random(16 << 10, resident));
         if self.dense > 0.0 {
             regions.push(Region::streaming(2 << 20, self.dense, 8));
@@ -184,12 +183,7 @@ impl Spec {
     ///
     /// Panics if the spec is internally inconsistent — catalog rows are
     /// static data validated by tests, so failing loudly is correct.
-    pub fn build(
-        &self,
-        suite: Suite,
-        domain: ApplicationDomain,
-        language: Language,
-    ) -> Benchmark {
+    pub fn build(&self, suite: Suite, domain: ApplicationDomain, language: Language) -> Benchmark {
         let profile = self
             .profile()
             .unwrap_or_else(|e| panic!("invalid catalog spec {}: {e}", self.name));
@@ -293,7 +287,9 @@ mod tests {
             p.memory()
                 .regions
                 .iter()
-                .filter(|r| r.bytes >= 32 << 20 && matches!(r.pattern, horizon_trace::AccessPattern::Random))
+                .filter(|r| {
+                    r.bytes >= 32 << 20 && matches!(r.pattern, horizon_trace::AccessPattern::Random)
+                })
                 .map(|r| r.weight)
                 .sum::<f64>()
         };
@@ -314,11 +310,7 @@ mod tests {
         let mut heavy = TOY.clone();
         heavy.mem.tlb_heavy = true;
         let p = heavy.profile().unwrap();
-        assert!(p
-            .memory()
-            .regions
-            .iter()
-            .any(|r| r.bytes == 4 << 20));
+        assert!(p.memory().regions.iter().any(|r| r.bytes == 4 << 20));
     }
 
     #[test]

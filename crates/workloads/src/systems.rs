@@ -111,6 +111,8 @@ mod tests {
     #[test]
     fn frequencies_are_applied() {
         let systems = submitted_systems(SubSuite::SpeedInt);
-        assert!(systems.iter().any(|s| (s.machine.freq_ghz - 3.8).abs() < 1e-12));
+        assert!(systems
+            .iter()
+            .any(|s| (s.machine.freq_ghz - 3.8).abs() < 1e-12));
     }
 }

@@ -19,7 +19,11 @@ fn every_catalog_profile_is_structurally_sound() {
         assert!(!p.memory().regions.is_empty(), "{}", b.name());
         let w: f64 = p.memory().regions.iter().map(|r| r.weight).sum();
         assert!(w > 0.0, "{}", b.name());
-        assert!(p.code().hot_bytes <= p.code().footprint_bytes, "{}", b.name());
+        assert!(
+            p.code().hot_bytes <= p.code().footprint_bytes,
+            "{}",
+            b.name()
+        );
         let br = p.branches();
         assert!((0.0..=1.0).contains(&br.taken_fraction), "{}", b.name());
         assert!((0.0..=1.0).contains(&br.regularity), "{}", b.name());

@@ -52,7 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Where do the emerging workloads land (§V-D/E/F)?
     println!("\nemerging workloads vs the CPU2017 space:");
-    for probe in ["175.vpr", "300.twolf", "pr-web", "cc-web", "cas-WA", "cas-WC"] {
+    for probe in [
+        "175.vpr",
+        "300.twolf",
+        "pr-web",
+        "cc-web",
+        "cas-WA",
+        "cas-WC",
+    ] {
         let i = analysis.index_of(probe)?;
         let (nearest, dist) = names2017
             .iter()

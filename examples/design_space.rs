@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = Campaign::default().measure(&benchmarks, &MachineConfig::table_iv_machines());
     let analysis = SimilarityAnalysis::from_campaign(&result)?;
     let subset = representative_subset(&analysis, 3)?;
-    println!("subset used for fast exploration: {}\n", subset.representatives.join(", "));
+    println!(
+        "subset used for fast exploration: {}\n",
+        subset.representatives.join(", ")
+    );
 
     let full: Vec<&Benchmark> = benchmarks.iter().collect();
     let small: Vec<&Benchmark> = benchmarks

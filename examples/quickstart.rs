@@ -16,13 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Pick workloads and machines. The SPECspeed INT sub-suite and two
     //    very different cores: a modern Intel desktop and a SPARC T4.
     let benchmarks = cpu2017::speed_int();
-    let machines = vec![
-        MachineConfig::skylake_i7_6700(),
-        MachineConfig::sparc_t4(),
-    ];
+    let machines = vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()];
 
     // 2. Run the measurement campaign (the perf-counter step of the paper).
-    println!("simulating {} benchmarks on {} machines...", benchmarks.len(), machines.len());
+    println!(
+        "simulating {} benchmarks on {} machines...",
+        benchmarks.len(),
+        machines.len()
+    );
     let result = Campaign::default().measure(&benchmarks, &machines);
 
     // 3. Show a couple of raw counter readouts.

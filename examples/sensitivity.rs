@@ -31,8 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let s = classify_sensitivity(&result, metric, SensitivityThresholds::default())?;
         println!("== sensitivity to {label} ==");
-        println!("  High:   {}", in_class(&s, SensitivityClass::High).join(", "));
-        println!("  Medium: {}", in_class(&s, SensitivityClass::Medium).join(", "));
+        println!(
+            "  High:   {}",
+            in_class(&s, SensitivityClass::High).join(", ")
+        );
+        println!(
+            "  Medium: {}",
+            in_class(&s, SensitivityClass::Medium).join(", ")
+        );
         let low = in_class(&s, SensitivityClass::Low);
         println!("  ({} benchmarks classified Low)\n", low.len());
     }

@@ -8,6 +8,7 @@
 
 pub use horizon_cluster as cluster;
 pub use horizon_core as core;
+pub use horizon_engine as engine;
 pub use horizon_stats as stats;
 pub use horizon_trace as trace;
 pub use horizon_uarch as uarch;

@@ -36,7 +36,12 @@ fn every_experiment_produces_a_report() {
     assert!(get("fig3").contains("607.cactuBSSN_s"));
     assert!(get("fig4").contains("549.fotonik3d_r"));
     // Table V covers the four sub-suites.
-    for sub in ["SPECspeed INT", "SPECrate INT", "SPECspeed FP", "SPECrate FP"] {
+    for sub in [
+        "SPECspeed INT",
+        "SPECrate INT",
+        "SPECspeed FP",
+        "SPECrate FP",
+    ] {
         assert!(get("table5").contains(sub));
     }
     assert!(get("table5").contains("Silhouette"));

@@ -1,0 +1,391 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the real
+//! `serde_derive`'s syn/quote stack is unavailable offline). Supports the
+//! shapes this workspace serializes:
+//!
+//! - structs with named fields (including empty and unit structs),
+//! - enums with unit, struct, and tuple variants.
+//!
+//! Generics and tuple structs are rejected with a compile error naming the
+//! offending item; none occur in this workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum VariantShape {
+    Unit,
+    Struct(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes (`#[...]`, including doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde derive: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes one type, tracking angle-bracket depth, up to a top-level `,`
+/// (consumed) or end of stream.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named fields from a brace group's stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after `{name}`, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Counts the comma-separated elements of a tuple variant's paren group.
+fn count_tuple_elements(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut elements = 0usize;
+    let mut saw_token = false;
+    for tok in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => elements += 1,
+                _ => {}
+            }
+        }
+    }
+    // Trailing comma yields an exact count; otherwise one more element.
+    if saw_token {
+        elements + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_elements(g.stream());
+                tokens.next();
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional `= discriminant` is not supported (unused in-tree).
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, shape });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("serde derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde derive: generic type `{name}` is not supported by the vendored serde subset"
+            );
+        }
+    }
+    match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: parse_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::Struct {
+            name,
+            fields: Vec::new(),
+        },
+        ("struct", other) => {
+            panic!("serde derive: tuple struct `{name}` is not supported ({other:?})")
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (kw, other) => panic!("serde derive: unsupported item `{kw}` ({other:?})"),
+    }
+}
+
+fn serialize_fields_expr(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({p}{n}))",
+                n = f.name,
+                p = access_prefix,
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn deserialize_fields_expr(type_path: &str, fields: &[Field], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{n}: ::serde::Deserialize::from_value({source}.field(\"{n}\")?)?",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = serialize_fields_expr(&fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = serialize_fields_expr(fields, "");
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantShape::Tuple(count) => {
+                            let binds: Vec<String> =
+                                (0..*count).map(|i| format!("x{i}")).collect();
+                            let inner = if *count == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {inner})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = deserialize_fields_expr(&name, &fields, "value");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({expr})\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Struct(fields) => {
+                            let expr =
+                                deserialize_fields_expr(&format!("{name}::{vn}"), fields, "inner");
+                            Some(format!("\"{vn}\" => ::std::result::Result::Ok({expr}),"))
+                        }
+                        VariantShape::Tuple(count) => {
+                            if *count == 1 {
+                                Some(format!(
+                                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                     ::serde::Deserialize::from_value(inner)?)),"
+                                ))
+                            } else {
+                                let elems: Vec<String> = (0..*count)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Deserialize::from_value(\
+                                         items.get({i}).ok_or_else(|| ::serde::Error::new(\
+                                         \"tuple variant too short\"))?)?"
+                                        )
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vn}\" => match inner {{\n\
+                                     ::serde::Value::Seq(items) => ::std::result::Result::Ok(\
+                                     {name}::{vn}({elems})),\n\
+                                     other => ::std::result::Result::Err(::serde::Error::new(\
+                                     format!(\"expected sequence for variant {vn}, found {{}}\", \
+                                     other.kind()))),\n}},",
+                                    elems = elems.join(", ")
+                                ))
+                            }
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {data}\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"expected {name} variant, found {{}}\", other.kind()))),\n\
+                 }}\n}}\n}}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated impl parses")
+}
