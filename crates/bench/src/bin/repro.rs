@@ -4,23 +4,30 @@
 //! repro <experiment> [flags]
 //! repro all [flags]
 //! repro list
+//! repro cache-gc --cache-dir DIR [--max-entries N]
 //!
 //! flags:
-//!   --quick            reduced-scale config (3 machines, short windows)
-//!   --jobs <N>         worker threads (overrides HORIZON_JOBS)
-//!   --cache-dir <DIR>  persist measurements to an on-disk cache
-//!   --stats            print engine statistics to stderr when done
+//!   --quick             reduced-scale config (3 machines, short windows)
+//!   --jobs <N>          worker threads (overrides HORIZON_JOBS)
+//!   --cache-dir <DIR>   persist measurements to an on-disk cache
+//!   --stats             print engine statistics and the per-phase
+//!                       wall-clock table to stderr when done
+//!   --trace-out <FILE>  write the run's telemetry trace as JSONL
+//!   --metrics-out <FILE> write counters/histograms in Prometheus text form
+//!   --max-entries <N>   cache-gc: entries to keep (default 1024)
 //! ```
 //!
 //! Unknown flags are rejected with exit code 2. Experiment reports go to
 //! stdout and are bit-identical regardless of `--jobs`, `HORIZON_JOBS` or
-//! cache state; statistics go to stderr so report output stays diffable.
+//! cache state; statistics, traces and metrics go to stderr or files so
+//! report output stays diffable.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use horizon_bench::{all_experiments, find_experiment, ReproConfig, REGISTRY};
-use horizon_engine::Engine;
+use horizon_bench::{find_experiment, run_experiment, ReproConfig, REGISTRY};
+use horizon_engine::{DiskCache, Engine, EngineStats};
+use horizon_telemetry::Recorder;
 
 struct Options {
     target: Option<String>,
@@ -28,6 +35,9 @@ struct Options {
     jobs: Option<usize>,
     cache_dir: Option<String>,
     stats: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    max_entries: Option<usize>,
 }
 
 enum ParseError {
@@ -57,6 +67,9 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         jobs: None,
         cache_dir: None,
         stats: false,
+        trace_out: None,
+        metrics_out: None,
+        max_entries: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -83,6 +96,16 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
                 opts.jobs = Some(n);
             }
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--max-entries" => {
+                let v = value("--max-entries")?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .ok_or(ParseError::BadValue("--max-entries", v))?;
+                opts.max_entries = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(ParseError::UnknownFlag(other.to_string()));
             }
@@ -99,10 +122,62 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] [--stats]"
+        "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] \
+         [--stats] [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20      repro cache-gc --cache-dir DIR [--max-entries N]"
     );
     let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
     eprintln!("experiments: {}", ids.join(", "));
+}
+
+/// Prunes the on-disk cache down to `max_entries` LRU entries.
+fn run_cache_gc(opts: &Options) -> u8 {
+    let Some(dir) = &opts.cache_dir else {
+        eprintln!("error: cache-gc requires --cache-dir");
+        return 2;
+    };
+    let max_entries = opts.max_entries.unwrap_or(1024);
+    let cache = match DiskCache::open(dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("error: cannot open cache dir '{dir}': {e}");
+            return 1;
+        }
+    };
+    match cache.gc(max_entries) {
+        Ok(report) => {
+            println!(
+                "cache-gc: examined {} entries, removed {}, reclaimed {} bytes, retained {}",
+                report.examined, report.removed, report.reclaimed_bytes, report.retained
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: cache gc failed for '{dir}': {e}");
+            1
+        }
+    }
+}
+
+/// Writes a telemetry sink file, mapping failure to a stderr message.
+fn write_sink(
+    path: &str,
+    label: &str,
+    write: impl FnOnce(&mut std::io::BufWriter<std::fs::File>) -> std::io::Result<()>,
+) -> bool {
+    let result = std::fs::File::create(path)
+        .map(std::io::BufWriter::new)
+        .and_then(|mut out| {
+            write(&mut out)?;
+            std::io::Write::flush(&mut out)
+        });
+    match result {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("error: cannot write {label} to '{path}': {e}");
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -122,7 +197,14 @@ fn main() -> ExitCode {
         ReproConfig::default()
     };
 
-    let mut engine = Engine::new();
+    // One recorder serves the whole process: installed globally (so the
+    // simulator and analysis stages record into it) and shared with the
+    // engine (so campaign/job spans and the derived stats join the same
+    // trace).
+    let recorder = Arc::new(Recorder::new());
+    horizon_telemetry::install(Arc::clone(&recorder));
+
+    let mut engine = Engine::new().with_recorder(Arc::clone(&recorder));
     if let Some(jobs) = opts.jobs {
         engine = engine.with_jobs(jobs);
     }
@@ -138,10 +220,10 @@ fn main() -> ExitCode {
     let engine = Arc::new(engine);
     Arc::clone(&engine).install();
 
-    let code = match opts.target.as_deref() {
+    let mut code: u8 = match opts.target.as_deref() {
         None | Some("help") => {
             usage();
-            ExitCode::from(2)
+            2
         }
         Some("list") => {
             for e in REGISTRY {
@@ -156,42 +238,65 @@ fn main() -> ExitCode {
                     );
                 }
             }
-            ExitCode::SUCCESS
+            0
         }
-        Some("all") => match all_experiments(&cfg) {
-            Ok(reports) => {
-                for (id, report) in reports {
-                    println!("==================== {id} ====================");
-                    println!("{report}");
+        Some("cache-gc") => run_cache_gc(&opts),
+        Some("all") => {
+            let mut failed = false;
+            for e in REGISTRY {
+                match run_experiment(e, &cfg) {
+                    Ok(report) => {
+                        println!("==================== {} ====================", e.id);
+                        println!("{report}");
+                    }
+                    Err(err) => {
+                        eprintln!("error: {err}");
+                        failed = true;
+                        break;
+                    }
                 }
-                ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+            u8::from(failed)
+        }
         Some(name) => match find_experiment(name) {
-            Some(experiment) => match (experiment.run)(&cfg) {
+            Some(experiment) => match run_experiment(experiment, &cfg) {
                 Ok(report) => {
                     println!("{report}");
-                    ExitCode::SUCCESS
+                    0
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    1
                 }
             },
             None => {
                 eprintln!("error: unknown experiment '{name}'");
                 eprintln!("hint: run `repro list` for the catalog");
-                ExitCode::from(2)
+                2
             }
         },
     };
 
+    let snapshot = recorder.snapshot();
     if opts.stats {
-        eprintln!("{}", engine.stats().summary());
+        eprintln!("{}", EngineStats::from_snapshot(&snapshot).summary());
+        eprintln!("{}", snapshot.render_phase_table());
     }
-    code
+    if let Some(path) = &opts.trace_out {
+        if !write_sink(path, "trace", |out| {
+            horizon_telemetry::write_trace(&snapshot, out)
+        }) && code == 0
+        {
+            code = 1;
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        if !write_sink(path, "metrics", |out| {
+            horizon_telemetry::write_prometheus(&snapshot, out)
+        }) && code == 0
+        {
+            code = 1;
+        }
+    }
+    ExitCode::from(code)
 }

@@ -1013,13 +1013,30 @@ pub fn find_experiment(name: &str) -> Option<&'static Experiment> {
         .find(|e| e.id == name || e.aliases.contains(&name))
 }
 
+/// Runs one experiment under an `experiment` telemetry span (carrying the
+/// experiment's canonical id), so every engine campaign and pipeline stage
+/// it triggers nests under one per-experiment subtree in the trace. All
+/// callers — the `repro` binary and [`all_experiments`] — go through here.
+///
+/// # Errors
+///
+/// Propagates the experiment's error.
+pub fn run_experiment(e: &Experiment, cfg: &ReproConfig) -> Result<String, CoreError> {
+    let mut span = horizon_telemetry::span("experiment");
+    span.record("id", e.id);
+    (e.run)(cfg)
+}
+
 /// Every experiment in paper order; each item is `(id, report)`.
 ///
 /// # Errors
 ///
 /// Propagates the first failing experiment's error.
 pub fn all_experiments(cfg: &ReproConfig) -> Result<Vec<(&'static str, String)>, CoreError> {
-    REGISTRY.iter().map(|e| Ok((e.id, (e.run)(cfg)?))).collect()
+    REGISTRY
+        .iter()
+        .map(|e| Ok((e.id, run_experiment(e, cfg)?)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@ use crate::{ClusterError, Linkage};
 /// ```
 pub fn cluster(distances: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram, ClusterError> {
     let n = distances.len();
+    let mut span = horizon_telemetry::span("cluster.linkage");
+    span.record("n", n);
     if n == 0 {
         return Err(ClusterError::Empty);
     }

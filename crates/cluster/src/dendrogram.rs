@@ -114,6 +114,9 @@ impl Dendrogram {
     /// Cuts the tree into exactly `k` clusters (clamped to `1..=n`), by
     /// undoing the last `k − 1` merges.
     pub fn cut_into(&self, k: usize) -> Vec<Vec<usize>> {
+        let mut span = horizon_telemetry::span("cluster.cut");
+        span.record("k", k);
+        span.record("n", self.n);
         let k = k.clamp(1, self.n.max(1));
         let keep = self.n - k; // number of merges to apply
         let mut parent: Vec<usize> = (0..self.n).collect();

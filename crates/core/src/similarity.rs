@@ -71,6 +71,9 @@ impl SimilarityAnalysis {
         retention: Retention,
         linkage: Linkage,
     ) -> Result<Self, CoreError> {
+        let mut span = horizon_telemetry::span("core.similarity");
+        span.record("workloads", names.len());
+        span.record("features", features.cols());
         if names.len() != features.rows() {
             return Err(CoreError::InvalidArgument {
                 reason: format!("{} names for {} feature rows", names.len(), features.rows()),

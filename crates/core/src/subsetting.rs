@@ -53,6 +53,8 @@ impl Subset {
 /// # Ok::<(), horizon_core::CoreError>(())
 /// ```
 pub fn representative_subset(analysis: &SimilarityAnalysis, k: usize) -> Result<Subset, CoreError> {
+    let mut span = horizon_telemetry::span("core.subset");
+    span.record("k", k);
     let n = analysis.names().len();
     if k == 0 || k > n {
         return Err(CoreError::InvalidArgument {

@@ -132,6 +132,8 @@ impl SpeedupTable {
     /// Returns [`CoreError::NotFound`] if a subset name is not in the table
     /// and propagates geometric-mean failures.
     pub fn validate(&self, subset: &[String]) -> Result<Vec<SystemScore>, CoreError> {
+        let mut span = horizon_telemetry::span("core.validate");
+        span.record("subset", subset.len());
         let indices: Vec<usize> = subset
             .iter()
             .map(|name| {
@@ -170,6 +172,9 @@ impl SpeedupTable {
     /// Returns [`CoreError::NotFound`] if a representative is not in the
     /// table and propagates geometric-mean failures.
     pub fn validate_clustered(&self, subset: &Subset) -> Result<Vec<SystemScore>, CoreError> {
+        let mut span = horizon_telemetry::span("core.validate");
+        span.record("subset", subset.representatives.len());
+        span.record("weighted", true);
         let indices: Vec<(usize, f64)> = subset
             .representatives
             .iter()

@@ -9,10 +9,17 @@
 //! - `engine_warm` — a persistent `Engine`: every job memo-hits, so this
 //!   measures pure serving cost (the `repro all` case where overlapping
 //!   experiments re-request the grid).
+//!
+//! Each engine configuration also has a `_dark` twin running with a
+//! disabled [`Recorder`], isolating what span/counter recording costs when
+//! no sink is attached.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use horizon_core::campaign::Campaign;
 use horizon_engine::Engine;
+use horizon_telemetry::Recorder;
 use horizon_trace::WorkloadProfile;
 use horizon_uarch::MachineConfig;
 use horizon_workloads::cpu2017;
@@ -44,10 +51,24 @@ fn bench_engine_vs_direct(c: &mut Criterion) {
         b.iter(|| Engine::new().measure_profiles(&campaign, &profiles, &machines))
     });
 
+    group.bench_function("engine_cold_dark", |b| {
+        b.iter(|| {
+            Engine::new()
+                .with_recorder(Arc::new(Recorder::disabled()))
+                .measure_profiles(&campaign, &profiles, &machines)
+        })
+    });
+
     let warm = Engine::new();
     warm.measure_profiles(&campaign, &profiles, &machines);
     group.bench_function("engine_warm", |b| {
         b.iter(|| warm.measure_profiles(&campaign, &profiles, &machines))
+    });
+
+    let warm_dark = Engine::new().with_recorder(Arc::new(Recorder::disabled()));
+    warm_dark.measure_profiles(&campaign, &profiles, &machines);
+    group.bench_function("engine_warm_dark", |b| {
+        b.iter(|| warm_dark.measure_profiles(&campaign, &profiles, &machines))
     });
 
     group.finish();

@@ -12,6 +12,7 @@ use horizon_core::campaign::Measurement;
 use serde::{Deserialize, Serialize};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 use crate::fingerprint::{Fingerprint, SCHEMA_VERSION};
 
@@ -24,6 +25,19 @@ struct CacheEntry {
     fingerprint: String,
     /// The cached simulation result.
     measurement: Measurement,
+}
+
+/// Result of one [`DiskCache::gc`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Entries present before the pass.
+    pub examined: u64,
+    /// Entries deleted.
+    pub removed: u64,
+    /// Bytes freed by the deletions.
+    pub reclaimed_bytes: u64,
+    /// Entries left in the cache.
+    pub retained: u64,
 }
 
 /// A directory of cached measurements.
@@ -56,11 +70,15 @@ impl DiskCache {
     /// Loads a measurement, returning `None` on any validation failure
     /// (absent, unreadable, unparseable, stale version, wrong key).
     pub fn load(&self, fingerprint: &Fingerprint) -> Option<Measurement> {
-        let text = std::fs::read_to_string(self.entry_path(fingerprint)).ok()?;
+        let path = self.entry_path(fingerprint);
+        let text = std::fs::read_to_string(&path).ok()?;
         let entry: CacheEntry = serde_json::from_str(&text).ok()?;
         if entry.version != SCHEMA_VERSION || entry.fingerprint != fingerprint.as_str() {
             return None;
         }
+        // Mark the entry recently used so LRU garbage collection keeps the
+        // working set. Best-effort: a read-only cache still serves hits.
+        touch(&path);
         Some(entry.measurement)
     }
 
@@ -89,6 +107,64 @@ impl DiskCache {
             let _ = std::fs::remove_file(&tmp);
         }
         ok
+    }
+
+    /// Prunes the cache down to `max_entries` entries, deleting the least
+    /// recently used first (by file mtime; [`DiskCache::load`] touches
+    /// entries on every hit). Ties break by file name so a pass is
+    /// deterministic on coarse-mtime filesystems. Emits an
+    /// `engine.cache_gc` span plus `engine.cache_gc_removed` and
+    /// `engine.cache_gc_reclaimed_bytes` counters to the globally
+    /// installed recorder, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the cache directory cannot be
+    /// listed. Individual entry deletions are best-effort: an entry that
+    /// vanishes or resists deletion mid-pass is skipped, not fatal.
+    pub fn gc(&self, max_entries: usize) -> std::io::Result<GcReport> {
+        let mut span = horizon_telemetry::span("engine.cache_gc");
+        let mut entries: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((mtime, path, meta.len()));
+        }
+        entries.sort();
+
+        let mut report = GcReport {
+            examined: entries.len() as u64,
+            ..GcReport::default()
+        };
+        let excess = entries.len().saturating_sub(max_entries);
+        for (_, path, len) in &entries[..excess] {
+            if std::fs::remove_file(path).is_ok() {
+                report.removed += 1;
+                report.reclaimed_bytes += *len;
+            }
+        }
+        report.retained = report.examined - report.removed;
+
+        span.record("examined", report.examined);
+        span.record("removed", report.removed);
+        span.record("reclaimed_bytes", report.reclaimed_bytes);
+        horizon_telemetry::counter_add("engine.cache_gc_removed", report.removed);
+        horizon_telemetry::counter_add("engine.cache_gc_reclaimed_bytes", report.reclaimed_bytes);
+        Ok(report)
+    }
+}
+
+/// Marks a cache entry recently used by bumping its mtime (best-effort).
+fn touch(path: &Path) {
+    if let Ok(file) = std::fs::OpenOptions::new().append(true).open(path) {
+        let _ = file.set_modified(SystemTime::now());
     }
 }
 
@@ -159,6 +235,81 @@ mod tests {
         // Re-storing repairs the entry.
         assert!(cache.store(&fp, &m));
         assert_eq!(cache.load(&fp).as_ref(), Some(&m));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Distinct fingerprints over the same measurement, for filling a cache.
+    fn sample_entries(n: u64) -> Vec<(Fingerprint, Measurement)> {
+        let profile = horizon_workloads::cpu2017::all()[0].profile().clone();
+        let machine = MachineConfig::skylake_i7_6700();
+        (0..n)
+            .map(|seed| {
+                let campaign = Campaign {
+                    instructions: 20_000,
+                    warmup: 5_000,
+                    seed,
+                };
+                let fp = Fingerprint::of_job(&campaign, &profile, &machine);
+                let m = campaign.measure_one(&profile, &machine);
+                (fp, m)
+            })
+            .collect()
+    }
+
+    /// Pins an entry's mtime so LRU order is unambiguous in tests.
+    fn set_mtime(path: &Path, seconds: u64) {
+        let file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        file.set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(seconds))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_prunes_least_recently_used_entries_first() {
+        let dir = temp_dir("gc-lru");
+        let cache = DiskCache::open(&dir).unwrap();
+        let entries = sample_entries(4);
+        for (i, (fp, m)) in entries.iter().enumerate() {
+            assert!(cache.store(fp, m));
+            set_mtime(&dir.join(format!("{fp}.json")), 1_000 + i as u64);
+        }
+        // Touch the oldest entry via a load: it becomes the most recent.
+        assert!(cache.load(&entries[0].0).is_some());
+
+        let report = cache.gc(2).unwrap();
+        assert_eq!(report.examined, 4);
+        assert_eq!(report.removed, 2);
+        assert_eq!(report.retained, 2);
+        assert!(report.reclaimed_bytes > 0);
+
+        // Survivors: the loaded entry (freshly touched) and the newest.
+        assert!(cache.load(&entries[0].0).is_some());
+        assert!(cache.load(&entries[3].0).is_some());
+        assert!(cache.load(&entries[1].0).is_none());
+        assert!(cache.load(&entries[2].0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_under_capacity_removes_nothing() {
+        let dir = temp_dir("gc-under");
+        let cache = DiskCache::open(&dir).unwrap();
+        let entries = sample_entries(2);
+        for (fp, m) in &entries {
+            assert!(cache.store(fp, m));
+        }
+        let report = cache.gc(10).unwrap();
+        assert_eq!(
+            report,
+            GcReport {
+                examined: 2,
+                removed: 0,
+                reclaimed_bytes: 0,
+                retained: 2,
+            }
+        );
+        for (fp, _) in &entries {
+            assert!(cache.load(fp).is_some());
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -8,12 +8,13 @@
 //! 1. **Expansion + deduplication** — a campaign expands into jobs keyed
 //!    by a content [`Fingerprint`] of `(workload profile, machine config,
 //!    window, warmup, seed)`; identical cells collapse to one job.
-//! 2. **Work stealing** — pending jobs land in a flat vector and workers
-//!    claim them through an atomic cursor, so a slow job (e.g. a 43rd
-//!    workload on the largest machine) never idles the other threads the
-//!    way per-call static chunking did. Worker count comes from an
-//!    explicit override ([`Engine::with_jobs`]), else `HORIZON_JOBS`, else
-//!    the machine's available parallelism.
+//! 2. **Work stealing** — pending jobs land in a flat vector, sorted
+//!    largest-estimated-cost-first ([`estimated_cost`], classic LPT
+//!    scheduling), and workers claim them through an atomic cursor, so a
+//!    slow job (e.g. a 43rd workload on the largest machine) never idles
+//!    the other threads the way per-call static chunking did. Worker count
+//!    comes from an explicit override ([`Engine::with_jobs`]), else
+//!    `HORIZON_JOBS`, else the machine's available parallelism.
 //! 3. **Memoization** — results are kept in an in-memory memo table and,
 //!    optionally, an on-disk JSON cache ([`DiskCache`]), so each unique
 //!    job simulates exactly once per process (and at most once per cache
@@ -31,6 +32,25 @@
 //! completion order. Scheduling and caching decide only *when and whether*
 //! a job is simulated, never *what it computes*.
 //!
+//! # Telemetry
+//!
+//! Every engine owns a [`horizon_telemetry::Recorder`]. Each campaign call
+//! opens an `engine.campaign` span with child stage spans
+//! (`engine.expand`, `engine.probe`, `engine.simulate`, `engine.integrate`,
+//! `engine.assemble`) and one `engine.job` span per unique job carrying
+//! `workload` / `machine` / `outcome` (`"memo"`, `"disk"`, or
+//! `"simulated"`) fields; worker-side job spans are explicitly parented to
+//! the campaign span. Counters (`engine.campaigns`, `engine.cells`,
+//! `engine.unique_jobs`, `engine.simulated_jobs`, `engine.memo_hits`,
+//! `engine.disk_hits`, `engine.simulated_instructions`,
+//! `engine.simulation_wall_nanos`, `engine.elapsed_nanos`) and histograms
+//! (`engine.queue_wait_ns`, `engine.job_wall_ns`) accumulate alongside.
+//! [`EngineStats`] is *derived* from this recorder — see
+//! [`EngineStats::from_snapshot`] — so the trace and the stats can never
+//! disagree. Pass a shared recorder with [`Engine::with_recorder`] (the
+//! `repro` binary shares the globally installed one, merging engine spans
+//! with simulator and analysis-pipeline spans into one trace).
+//!
 //! Install an engine process-wide with [`Engine::install`] to route every
 //! `Campaign::measure` / `measure_profiles` call through it, or call
 //! [`Engine::measure_profiles`] directly.
@@ -38,14 +58,17 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod cost;
 mod fingerprint;
 mod stats;
 
-pub use cache::DiskCache;
+pub use cache::{DiskCache, GcReport};
+pub use cost::estimated_cost;
 pub use fingerprint::{Fingerprint, SCHEMA_VERSION};
 pub use stats::{EngineStats, JobTiming};
 
 use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
+use horizon_telemetry::Recorder;
 use horizon_trace::WorkloadProfile;
 use horizon_uarch::MachineConfig;
 use std::collections::HashMap;
@@ -76,7 +99,7 @@ pub struct Engine {
     jobs: Option<usize>,
     disk: Option<DiskCache>,
     memo: Mutex<HashMap<Fingerprint, Measurement>>,
-    stats: Mutex<EngineStats>,
+    recorder: Arc<Recorder>,
     progress: Option<ProgressCallback>,
 }
 
@@ -87,14 +110,14 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine with in-memory memoization only and automatic worker
-    /// count.
+    /// An engine with in-memory memoization only, automatic worker count,
+    /// and a private telemetry recorder.
     pub fn new() -> Self {
         Engine {
             jobs: None,
             disk: None,
             memo: Mutex::new(HashMap::new()),
-            stats: Mutex::new(EngineStats::default()),
+            recorder: Arc::new(Recorder::new()),
             progress: None,
         }
     }
@@ -122,6 +145,21 @@ impl Engine {
         Ok(self)
     }
 
+    /// Replaces the engine's telemetry recorder — typically with one that
+    /// is also installed globally via [`horizon_telemetry::install`], so
+    /// engine spans, simulator spans and analysis spans land in one trace.
+    /// Pass [`Recorder::disabled`] to run the engine dark.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The engine's telemetry recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
     /// Registers a progress callback, invoked once per unique job as it
     /// resolves (possibly from worker threads).
     #[must_use]
@@ -138,14 +176,15 @@ impl Engine {
         horizon_core::campaign::install_executor(self);
     }
 
-    /// A snapshot of cumulative statistics.
+    /// A snapshot of cumulative statistics, derived from the recorder.
     pub fn stats(&self) -> EngineStats {
-        self.stats.lock().expect("stats lock").clone()
+        EngineStats::from_snapshot(&self.recorder.snapshot())
     }
 
-    /// Clears accumulated statistics (the memo table is kept).
+    /// Clears accumulated telemetry and statistics (the memo table is
+    /// kept).
     pub fn reset_stats(&self) {
-        *self.stats.lock().expect("stats lock") = EngineStats::default();
+        self.recorder.reset();
     }
 
     /// The worker count the engine would use for `pending` runnable jobs.
@@ -176,8 +215,12 @@ impl Engine {
         machines: &[MachineConfig],
     ) -> CampaignResult {
         let call_start = Instant::now();
+        let rec = &self.recorder;
+        let mut campaign_span = rec.span("engine.campaign");
+        let campaign_id = campaign_span.id();
 
         // Phase 1: expand the grid into de-duplicated jobs.
+        let expand_span = rec.span("engine.expand");
         let mut job_index: HashMap<Fingerprint, usize> = HashMap::new();
         // job id -> (profile index, machine index) of its first occurrence.
         let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -196,8 +239,12 @@ impl Engine {
             }
             cell_jobs.push(row);
         }
+        drop(expand_span);
 
         // Phase 2: serve jobs from the memo table, then the disk cache.
+        // Cached jobs get their span here, implicitly nested under
+        // engine.probe (itself under engine.campaign).
+        let probe_span = rec.span("engine.probe");
         let mut resolved: Vec<Option<Measurement>> = vec![None; jobs.len()];
         let mut memo_hits = 0u64;
         let mut disk_hits = 0u64;
@@ -207,6 +254,11 @@ impl Engine {
                 if let Some(m) = memo.get(fp) {
                     resolved[id] = Some(m.clone());
                     memo_hits += 1;
+                    let (w, mach) = jobs[id];
+                    let mut span = rec.span("engine.job");
+                    span.record("workload", profiles[w].name());
+                    span.record("machine", machines[mach].name.as_str());
+                    span.record("outcome", "memo");
                 }
             }
         }
@@ -216,6 +268,11 @@ impl Engine {
                     if let Some(m) = disk.load(fp) {
                         resolved[id] = Some(m);
                         disk_hits += 1;
+                        let (w, mach) = jobs[id];
+                        let mut span = rec.span("engine.job");
+                        span.record("workload", profiles[w].name());
+                        span.record("machine", machines[mach].name.as_str());
+                        span.record("outcome", "disk");
                     }
                 }
             }
@@ -229,18 +286,37 @@ impl Engine {
                 self.emit_progress(&completed, total, &profiles[w], &machines[mach], true);
             }
         }
+        drop(probe_span);
 
         // Phase 3: simulate the misses on the work-stealing pool. Workers
         // claim jobs through an atomic cursor over the flat miss list;
-        // results land in per-job slots, so ordering never matters.
-        let misses: Vec<usize> = (0..jobs.len())
+        // results land in per-job slots, so ordering never matters for the
+        // output. The list is sorted largest-estimated-cost-first (LPT) so
+        // the longest job starts earliest and cannot become a lone tail;
+        // ties break by job id to keep the order deterministic.
+        let profile_cost: Vec<u64> = profiles
+            .iter()
+            .map(|p| estimated_cost(campaign, p))
+            .collect();
+        let mut misses: Vec<usize> = (0..jobs.len())
             .filter(|&id| resolved[id].is_none())
             .collect();
+        misses.sort_by(|&a, &b| {
+            profile_cost[jobs[b].0]
+                .cmp(&profile_cost[jobs[a].0])
+                .then(a.cmp(&b))
+        });
+        let workers = if misses.is_empty() {
+            0
+        } else {
+            self.worker_count(misses.len())
+        };
         let slots: Vec<OnceLock<(Measurement, u64)>> =
             misses.iter().map(|_| OnceLock::new()).collect();
         if !misses.is_empty() {
-            let workers = self.worker_count(misses.len());
+            let simulate_span = rec.span("engine.simulate");
             let cursor = AtomicUsize::new(0);
+            let pool_start = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
@@ -248,10 +324,24 @@ impl Engine {
                         if slot >= misses.len() {
                             break;
                         }
+                        rec.histogram_record(
+                            "engine.queue_wait_ns",
+                            pool_start.elapsed().as_nanos() as u64,
+                        );
                         let (w, m) = jobs[misses[slot]];
+                        let mut job_span = rec.span("engine.job");
+                        job_span.set_parent(campaign_id);
+                        job_span.record("workload", profiles[w].name());
+                        job_span.record("machine", machines[m].name.as_str());
+                        job_span.record("outcome", "simulated");
+                        job_span.record("instructions", campaign.instructions + campaign.warmup);
+                        job_span.record("est_cost", profile_cost[w]);
                         let job_start = Instant::now();
                         let measurement = campaign.measure_one(&profiles[w], &machines[m]);
                         let wall_nanos = job_start.elapsed().as_nanos() as u64;
+                        job_span.record("wall_ns", wall_nanos);
+                        drop(job_span);
+                        rec.histogram_record("engine.job_wall_ns", wall_nanos);
                         slots[slot]
                             .set((measurement, wall_nanos))
                             .expect("each slot is claimed once");
@@ -259,10 +349,12 @@ impl Engine {
                     });
                 }
             });
+            drop(simulate_span);
         }
 
-        // Phase 4: integrate results into memo, disk cache and stats.
-        let mut timings = Vec::with_capacity(misses.len());
+        // Phase 4: integrate results into memo, disk cache and counters.
+        let integrate_span = rec.span("engine.integrate");
+        let mut simulation_wall_nanos = 0u64;
         {
             let mut memo = self.memo.lock().expect("memo lock");
             for (slot, &id) in misses.iter().enumerate() {
@@ -272,34 +364,26 @@ impl Engine {
                     disk.store(fp, &measurement);
                 }
                 memo.insert(fp.clone(), measurement.clone());
-                let (w, m) = jobs[id];
-                timings.push(JobTiming {
-                    workload: profiles[w].name().to_string(),
-                    machine: machines[m].name.clone(),
-                    wall_nanos,
-                    instructions: campaign.instructions + campaign.warmup,
-                });
+                simulation_wall_nanos += wall_nanos;
                 resolved[id] = Some(measurement);
             }
         }
-
-        {
-            let mut stats = self.stats.lock().expect("stats lock");
-            stats.campaigns += 1;
-            stats.cells += (profiles.len() * machines.len()) as u64;
-            stats.unique_jobs += jobs.len() as u64;
-            stats.simulated_jobs += misses.len() as u64;
-            stats.memo_hits += memo_hits;
-            stats.disk_hits += disk_hits;
-            for t in &timings {
-                stats.simulated_instructions += t.instructions;
-                stats.simulation_wall_nanos += t.wall_nanos;
-            }
-            stats.elapsed_nanos += call_start.elapsed().as_nanos() as u64;
-            stats.job_timings.extend(timings);
-        }
+        let window = campaign.instructions + campaign.warmup;
+        rec.counter_add("engine.campaigns", 1);
+        rec.counter_add("engine.cells", (profiles.len() * machines.len()) as u64);
+        rec.counter_add("engine.unique_jobs", jobs.len() as u64);
+        rec.counter_add("engine.simulated_jobs", misses.len() as u64);
+        rec.counter_add("engine.memo_hits", memo_hits);
+        rec.counter_add("engine.disk_hits", disk_hits);
+        rec.counter_add(
+            "engine.simulated_instructions",
+            misses.len() as u64 * window,
+        );
+        rec.counter_add("engine.simulation_wall_nanos", simulation_wall_nanos);
+        drop(integrate_span);
 
         // Phase 5: assemble the grid by cell index.
+        let assemble_span = rec.span("engine.assemble");
         let workload_names = profiles.iter().map(|p| p.name().to_string()).collect();
         let machine_names = machines.iter().map(|m| m.name.clone()).collect();
         let grid = cell_jobs
@@ -310,6 +394,16 @@ impl Engine {
                     .collect()
             })
             .collect();
+        drop(assemble_span);
+
+        campaign_span.record("cells", profiles.len() * machines.len());
+        campaign_span.record("unique_jobs", jobs.len());
+        campaign_span.record("simulated", misses.len());
+        campaign_span.record("workers", workers);
+        rec.counter_add(
+            "engine.elapsed_nanos",
+            call_start.elapsed().as_nanos() as u64,
+        );
         CampaignResult::from_grid(workload_names, machine_names, grid)
     }
 

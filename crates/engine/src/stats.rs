@@ -1,5 +1,12 @@
 //! Run statistics for the execution engine.
+//!
+//! Since the telemetry refactor the engine no longer maintains a separate
+//! statistics ledger: every number here is *derived* from the engine's
+//! [`horizon_telemetry::Recorder`] via [`EngineStats::from_snapshot`], so
+//! the recorder is the single source of truth and the stats can never
+//! drift from the trace.
 
+use horizon_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -38,11 +45,44 @@ pub struct EngineStats {
     pub simulation_wall_nanos: u64,
     /// Wall time spent inside engine campaign calls, in nanoseconds.
     pub elapsed_nanos: u64,
-    /// Per-job wall-time records, in completion order.
+    /// Per-job wall-time records, in completion order. Reconstructed from
+    /// retained `engine.job` spans, so extremely long runs that overflow
+    /// the recorder's span cap may truncate this list (the aggregate
+    /// counters above stay exact).
     pub job_timings: Vec<JobTiming>,
 }
 
 impl EngineStats {
+    /// Derives cumulative stats from a telemetry snapshot: counters map
+    /// one-to-one onto the aggregate fields, and each retained
+    /// `engine.job` span with `outcome == "simulated"` contributes a
+    /// [`JobTiming`].
+    pub fn from_snapshot(snapshot: &TelemetrySnapshot) -> Self {
+        let job_timings = snapshot
+            .spans
+            .iter()
+            .filter(|s| s.name == "engine.job" && s.field_str("outcome") == Some("simulated"))
+            .map(|s| JobTiming {
+                workload: s.field_str("workload").unwrap_or_default().to_string(),
+                machine: s.field_str("machine").unwrap_or_default().to_string(),
+                wall_nanos: s.field_u64("wall_ns").unwrap_or(s.duration_nanos),
+                instructions: s.field_u64("instructions").unwrap_or(0),
+            })
+            .collect();
+        EngineStats {
+            campaigns: snapshot.counter("engine.campaigns"),
+            cells: snapshot.counter("engine.cells"),
+            unique_jobs: snapshot.counter("engine.unique_jobs"),
+            simulated_jobs: snapshot.counter("engine.simulated_jobs"),
+            memo_hits: snapshot.counter("engine.memo_hits"),
+            disk_hits: snapshot.counter("engine.disk_hits"),
+            simulated_instructions: snapshot.counter("engine.simulated_instructions"),
+            simulation_wall_nanos: snapshot.counter("engine.simulation_wall_nanos"),
+            elapsed_nanos: snapshot.counter("engine.elapsed_nanos"),
+            job_timings,
+        }
+    }
+
     /// Cache hits (memo + disk) over unique jobs, in `[0, 1]`; zero when
     /// nothing has run.
     pub fn hit_rate(&self) -> f64 {
@@ -109,6 +149,8 @@ impl EngineStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use horizon_telemetry::Recorder;
+    use std::sync::Arc;
 
     #[test]
     fn rates_on_empty_stats_are_zero() {
@@ -116,6 +158,15 @@ mod tests {
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.instructions_per_second(), 0.0);
         assert!(s.summary().contains("unique jobs:     0"));
+    }
+
+    #[test]
+    fn empty_snapshot_derives_empty_stats() {
+        let r = Recorder::new();
+        let s = EngineStats::from_snapshot(&r.snapshot());
+        assert_eq!(s, EngineStats::default());
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.instructions_per_second(), 0.0);
     }
 
     #[test]
@@ -135,6 +186,40 @@ mod tests {
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(s.cache_hits(), 6);
         assert!((s.instructions_per_second() - 4_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_snapshot_maps_counters_and_job_spans() {
+        let r = Arc::new(Recorder::new());
+        r.counter_add("engine.campaigns", 1);
+        r.counter_add("engine.cells", 4);
+        r.counter_add("engine.unique_jobs", 3);
+        r.counter_add("engine.simulated_jobs", 1);
+        r.counter_add("engine.memo_hits", 2);
+        r.counter_add("engine.simulated_instructions", 25_000);
+        r.counter_add("engine.simulation_wall_nanos", 9_000);
+        {
+            let mut cached = r.span("engine.job");
+            cached.record("workload", "mcf");
+            cached.record("machine", "skylake");
+            cached.record("outcome", "memo");
+        }
+        {
+            let mut sim = r.span("engine.job");
+            sim.record("workload", "gcc");
+            sim.record("machine", "sparc");
+            sim.record("outcome", "simulated");
+            sim.record("instructions", 25_000u64);
+            sim.record("wall_ns", 9_000u64);
+        }
+        let s = EngineStats::from_snapshot(&r.snapshot());
+        assert_eq!(s.campaigns, 1);
+        assert_eq!(s.memo_hits, 2);
+        assert_eq!(s.job_timings.len(), 1, "cached jobs carry no timing");
+        assert_eq!(s.job_timings[0].workload, "gcc");
+        assert_eq!(s.job_timings[0].machine, "sparc");
+        assert_eq!(s.job_timings[0].wall_nanos, 9_000);
+        assert_eq!(s.job_timings[0].instructions, 25_000);
     }
 
     #[test]

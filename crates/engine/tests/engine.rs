@@ -193,6 +193,130 @@ fn duplicate_grid_cells_collapse_to_one_job() {
 }
 
 #[test]
+fn misses_are_claimed_largest_estimated_cost_first() {
+    use horizon_engine::estimated_cost;
+    use std::sync::Mutex;
+
+    let campaign = campaign();
+    // Full speed-int suite for a meaningful spread of estimated costs.
+    let profiles: Vec<WorkloadProfile> = cpu2017::speed_int()
+        .iter()
+        .map(|b| b.profile().clone())
+        .collect();
+    let machines = vec![MachineConfig::skylake_i7_6700()];
+
+    let order: std::sync::Arc<Mutex<Vec<String>>> = std::sync::Arc::new(Mutex::new(Vec::new()));
+    let sink = std::sync::Arc::clone(&order);
+    // One worker: completion order == claim order == scheduled order.
+    let engine = Engine::new().with_jobs(1).with_progress(move |e| {
+        sink.lock().unwrap().push(e.workload.clone());
+    });
+    engine.measure_profiles(&campaign, &profiles, &machines);
+
+    let mut expected: Vec<(u64, usize)> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (estimated_cost(&campaign, p), i))
+        .collect();
+    expected.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let expected: Vec<String> = expected
+        .iter()
+        .map(|&(_, i)| profiles[i].name().to_string())
+        .collect();
+    assert_eq!(*order.lock().unwrap(), expected);
+}
+
+#[test]
+fn telemetry_captures_campaign_structure_and_matches_stats() {
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+    let unique = profiles.len() * machines.len();
+
+    let engine = Engine::new().with_jobs(3);
+    engine.measure_profiles(&campaign, &profiles, &machines);
+    engine.measure_profiles(&campaign, &profiles, &machines);
+    let snap = engine.recorder().snapshot();
+
+    // Stage spans nest under the campaign span.
+    let campaigns = snap.spans_named("engine.campaign");
+    assert_eq!(campaigns.len(), 2);
+    assert_eq!(campaigns[0].parent, None);
+    for stage in [
+        "engine.expand",
+        "engine.probe",
+        "engine.simulate",
+        "engine.integrate",
+        "engine.assemble",
+    ] {
+        let stages = snap.spans_named(stage);
+        assert!(!stages.is_empty(), "{stage} span missing");
+        for s in &stages {
+            assert!(
+                campaigns.iter().any(|c| Some(c.id) == s.parent),
+                "{stage} must be a child of a campaign span"
+            );
+        }
+    }
+    // The second, fully memoized campaign runs no simulate stage.
+    assert_eq!(snap.spans_named("engine.simulate").len(), 1);
+
+    // One engine.job span per unique job per campaign, correctly parented
+    // (simulated jobs hang off the campaign, cached ones off the probe
+    // stage) and labeled with its outcome.
+    let job_spans = snap.spans_named("engine.job");
+    assert_eq!(job_spans.len(), 2 * unique);
+    let simulated: Vec<_> = job_spans
+        .iter()
+        .filter(|s| s.field_str("outcome") == Some("simulated"))
+        .collect();
+    let memoized: Vec<_> = job_spans
+        .iter()
+        .filter(|s| s.field_str("outcome") == Some("memo"))
+        .collect();
+    assert_eq!(simulated.len(), unique);
+    assert_eq!(memoized.len(), unique);
+    assert!(simulated.iter().all(|s| s.parent == Some(campaigns[0].id)));
+    let probe_ids: Vec<u64> = snap
+        .spans_named("engine.probe")
+        .iter()
+        .map(|s| s.id)
+        .collect();
+    assert!(memoized
+        .iter()
+        .all(|s| probe_ids.contains(&s.parent.unwrap())));
+    for s in &simulated {
+        assert!(s.field_str("workload").is_some());
+        assert!(s.field_str("machine").is_some());
+        assert!(s.field_u64("wall_ns").is_some());
+        assert!(s.field_u64("est_cost").is_some());
+    }
+
+    // Histograms saw every simulated job.
+    assert_eq!(
+        snap.histogram("engine.job_wall_ns").unwrap().count(),
+        unique as u64
+    );
+    assert_eq!(
+        snap.histogram("engine.queue_wait_ns").unwrap().count(),
+        unique as u64
+    );
+
+    // Stats are derived from this very snapshot — no second ledger.
+    let stats = engine.stats();
+    assert_eq!(stats.campaigns, 2);
+    assert_eq!(stats.cells, snap.counter("engine.cells"));
+    assert_eq!(stats.simulated_jobs, unique as u64);
+    assert_eq!(stats.memo_hits, unique as u64);
+    assert_eq!(stats.job_timings.len(), unique);
+    assert!(stats.simulation_wall_nanos > 0);
+
+    // reset_stats clears the recorder.
+    engine.reset_stats();
+    assert_eq!(engine.stats(), horizon_engine::EngineStats::default());
+}
+
+#[test]
 fn progress_callback_sees_every_job_exactly_once() {
     use std::sync::Mutex;
     let campaign = campaign();

@@ -96,16 +96,28 @@ impl Pca {
         if x.rows() < 2 {
             return Err(StatsError::Empty);
         }
-        let scaler = match basis {
-            PcaBasis::Correlation => ColumnScaler::fit(x)?,
-            // Covariance PCA centers but does not rescale.
-            PcaBasis::Covariance => ColumnScaler::fit_center_only(x)?,
+        let scaler = {
+            let mut span = horizon_telemetry::span("stats.standardize");
+            span.record("rows", x.rows());
+            span.record("cols", x.cols());
+            match basis {
+                PcaBasis::Correlation => ColumnScaler::fit(x)?,
+                // Covariance PCA centers but does not rescale.
+                PcaBasis::Covariance => ColumnScaler::fit_center_only(x)?,
+            }
         };
-        let basis_matrix = match basis {
-            PcaBasis::Correlation => correlation_matrix(x)?,
-            PcaBasis::Covariance => covariance_matrix(x)?,
+        let basis_matrix = {
+            let _span = horizon_telemetry::span("stats.covariance");
+            match basis {
+                PcaBasis::Correlation => correlation_matrix(x)?,
+                PcaBasis::Covariance => covariance_matrix(x)?,
+            }
         };
-        let eig = jacobi_eigen(&basis_matrix)?;
+        let eig = {
+            let mut span = horizon_telemetry::span("stats.eigen");
+            span.record("dim", basis_matrix.rows());
+            jacobi_eigen(&basis_matrix)?
+        };
 
         // Numerical noise can make tiny eigenvalues slightly negative.
         let eigenvalues: Vec<f64> = eig.values.iter().map(|&v| v.max(0.0)).collect();
@@ -135,8 +147,12 @@ impl Pca {
 
         let keep: Vec<usize> = (0..retained).collect();
         let loadings = eig.vectors.select_cols(&keep);
-        let z = scaler.transform(x)?;
-        let scores = z.matmul(&loadings)?;
+        let scores = {
+            let mut span = horizon_telemetry::span("stats.project");
+            span.record("retained", retained);
+            let z = scaler.transform(x)?;
+            z.matmul(&loadings)?
+        };
 
         Ok(Pca {
             scaler,

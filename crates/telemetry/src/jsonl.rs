@@ -1,0 +1,191 @@
+//! JSONL trace sink: one event per line, deterministic field order.
+//!
+//! Line order is fixed (meta, then spans by id, then counters, histograms
+//! and phases in name order) and every map is emitted in a fixed key
+//! order, so two traces of the same run shape differ only in ids, thread
+//! ids and timings — `jq`-friendly and safely diffable.
+
+use std::io::{self, Write};
+
+use serde::Value;
+
+use crate::recorder::FieldValue;
+use crate::snapshot::TelemetrySnapshot;
+
+/// Trace format version, bumped on any breaking field change.
+pub const TRACE_SCHEMA: u32 = 1;
+
+fn num(v: impl ToString) -> Value {
+    Value::Num(v.to_string())
+}
+
+fn field_value(v: &FieldValue) -> Value {
+    match v {
+        FieldValue::Bool(b) => Value::Bool(*b),
+        FieldValue::U64(n) => num(n),
+        FieldValue::I64(n) => num(n),
+        FieldValue::F64(x) => num(x),
+        FieldValue::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn write_event(out: &mut impl Write, event: Value) -> io::Result<()> {
+    let line = serde_json::to_string(&event)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{line}")
+}
+
+fn histogram_event(kind: &str, name: &str, h: &crate::Histogram) -> Value {
+    let buckets: Vec<Value> = h
+        .buckets()
+        .filter(|&(_, count)| count > 0)
+        .map(|(le, count)| Value::Seq(vec![num(le), num(count)]))
+        .collect();
+    Value::Map(vec![
+        ("type".into(), Value::Str(kind.into())),
+        ("name".into(), Value::Str(name.into())),
+        ("count".into(), num(h.count())),
+        ("sum".into(), num(h.sum())),
+        ("min".into(), num(h.min())),
+        ("max".into(), num(h.max())),
+        ("buckets".into(), Value::Seq(buckets)),
+        ("overflow".into(), num(h.overflow())),
+    ])
+}
+
+/// Writes the snapshot as a JSONL trace.
+///
+/// Events, one JSON object per line:
+/// * `{"type":"meta","schema":1,"dropped_spans":N}` — always first.
+/// * `{"type":"span","id":…,"parent":…,"name":…,"thread":…,"start_ns":…,
+///   "dur_ns":…,"fields":{…}}` — one per retained span, ascending id.
+/// * `{"type":"counter","name":…,"value":…}` — one per counter.
+/// * `{"type":"histogram"|"phase","name":…,"count":…,"sum":…,"min":…,
+///   "max":…,"buckets":[[le,count],…],"overflow":…}` — explicit
+///   histograms, then per-span-name wall-time aggregates.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Result<()> {
+    write_event(
+        out,
+        Value::Map(vec![
+            ("type".into(), Value::Str("meta".into())),
+            ("schema".into(), num(TRACE_SCHEMA)),
+            ("dropped_spans".into(), num(snapshot.dropped_spans)),
+        ]),
+    )?;
+
+    let mut spans: Vec<_> = snapshot.spans.iter().collect();
+    spans.sort_by_key(|s| s.id);
+    for span in spans {
+        let fields = Value::Map(
+            span.fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), field_value(v)))
+                .collect(),
+        );
+        write_event(
+            out,
+            Value::Map(vec![
+                ("type".into(), Value::Str("span".into())),
+                ("id".into(), num(span.id)),
+                ("parent".into(), span.parent.map_or(Value::Null, num)),
+                ("name".into(), Value::Str(span.name.into())),
+                ("thread".into(), num(span.thread)),
+                ("start_ns".into(), num(span.start_nanos)),
+                ("dur_ns".into(), num(span.duration_nanos)),
+                ("fields".into(), fields),
+            ]),
+        )?;
+    }
+
+    for (name, value) in &snapshot.counters {
+        write_event(
+            out,
+            Value::Map(vec![
+                ("type".into(), Value::Str("counter".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("value".into(), num(value)),
+            ]),
+        )?;
+    }
+    for (name, h) in &snapshot.histograms {
+        write_event(out, histogram_event("histogram", name, h))?;
+    }
+    for (name, h) in &snapshot.span_wall {
+        write_event(out, histogram_event("phase", name, h))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::sync::Arc;
+
+    fn sample_trace() -> String {
+        let r = Arc::new(Recorder::new());
+        {
+            let mut outer = r.span("campaign");
+            outer.record("cells", 4u64);
+            let mut job = r.span("job");
+            job.record("workload", "605.mcf_s");
+            job.record("cached", false);
+        }
+        r.counter_add("memo_hits", 2);
+        r.histogram_record("queue_wait_ns", 1500);
+        let mut buf = Vec::new();
+        write_trace(&r.snapshot(), &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn every_line_is_valid_json_with_a_type() {
+        let text = sample_trace();
+        assert!(text.lines().count() >= 6);
+        for line in text.lines() {
+            let v: Value = serde_json::from_str(line).unwrap();
+            let t = v.field("type").unwrap();
+            assert!(matches!(t, Value::Str(_)), "{line}");
+        }
+    }
+
+    #[test]
+    fn meta_line_comes_first_and_spans_carry_structure() {
+        let text = sample_trace();
+        let first: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.field("type").unwrap(), &Value::Str("meta".into()));
+
+        let job_line = text
+            .lines()
+            .find(|l| l.contains("\"job\""))
+            .expect("job span present");
+        let job: Value = serde_json::from_str(job_line).unwrap();
+        assert!(matches!(job.field("parent").unwrap(), Value::Num(_)));
+        let fields = job.field("fields").unwrap();
+        assert_eq!(
+            fields.field("workload").unwrap(),
+            &Value::Str("605.mcf_s".into())
+        );
+        assert_eq!(fields.field("cached").unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn counters_and_histograms_present() {
+        let text = sample_trace();
+        assert!(text.contains("\"counter\""));
+        assert!(text.contains("\"memo_hits\""));
+        assert!(text.contains("\"histogram\""));
+        assert!(text.contains("\"queue_wait_ns\""));
+        assert!(text.contains("\"phase\""));
+        // Field order inside span events is fixed.
+        let span_line = text.lines().find(|l| l.contains("\"campaign\"")).unwrap();
+        let id_pos = span_line.find("\"id\"").unwrap();
+        let name_pos = span_line.find("\"name\"").unwrap();
+        let dur_pos = span_line.find("\"dur_ns\"").unwrap();
+        assert!(id_pos < name_pos && name_pos < dur_pos);
+    }
+}

@@ -1,0 +1,147 @@
+//! Prometheus-style text exposition sink.
+//!
+//! Not a scrape endpoint — a plain-text dump in the exposition format so
+//! runs can be diffed and plotted with standard tooling. Counters become
+//! `horizon_<name>`, explicit histograms become `horizon_<name>` histogram
+//! families, and per-span-name wall times are exposed as one histogram
+//! family `horizon_span_wall_nanos` with a `phase` label.
+
+use std::io::{self, Write};
+
+use crate::histogram::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// `engine.queue_wait_ns` → `engine_queue_wait_ns` (metric-name charset).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn write_histogram(
+    out: &mut impl Write,
+    family: &str,
+    labels: &str,
+    h: &Histogram,
+) -> io::Result<()> {
+    let mut cumulative = 0u64;
+    for (le, count) in h.buckets() {
+        cumulative += count;
+        // Skip interior empty buckets but keep the ones that carry counts;
+        // cumulative values stay correct because they accumulate anyway.
+        if count > 0 {
+            writeln!(out, "{family}_bucket{{{labels}le=\"{le}\"}} {cumulative}")?;
+        }
+    }
+    cumulative += h.overflow();
+    writeln!(out, "{family}_bucket{{{labels}le=\"+Inf\"}} {cumulative}")?;
+    writeln!(
+        out,
+        "{family}_sum{{{labels_trim}}} {}",
+        h.sum(),
+        labels_trim = labels.trim_end_matches(',')
+    )?;
+    writeln!(
+        out,
+        "{family}_count{{{labels_trim}}} {}",
+        h.count(),
+        labels_trim = labels.trim_end_matches(',')
+    )?;
+    Ok(())
+}
+
+/// Writes the snapshot in Prometheus text exposition format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_prometheus(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "# TYPE horizon_dropped_spans counter")?;
+    writeln!(out, "horizon_dropped_spans {}", snapshot.dropped_spans)?;
+
+    for (name, value) in &snapshot.counters {
+        let metric = format!("horizon_{}", sanitize(name));
+        writeln!(out, "# TYPE {metric} counter")?;
+        writeln!(out, "{metric} {value}")?;
+    }
+
+    for (name, h) in &snapshot.histograms {
+        let metric = format!("horizon_{}", sanitize(name));
+        writeln!(out, "# TYPE {metric} histogram")?;
+        write_histogram(out, &metric, "", h)?;
+    }
+
+    if !snapshot.span_wall.is_empty() {
+        writeln!(out, "# TYPE horizon_span_wall_nanos histogram")?;
+        for (name, h) in &snapshot.span_wall {
+            let labels = format!("phase=\"{name}\",");
+            write_histogram(out, "horizon_span_wall_nanos", &labels, h)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+    use std::sync::Arc;
+
+    fn sample_dump() -> String {
+        let r = Arc::new(Recorder::new());
+        r.counter_add("engine.memo_hits", 5);
+        r.counter_add("engine.disk_hits", 1);
+        for v in [800, 3000, 70_000] {
+            r.histogram_record("engine.queue_wait_ns", v);
+        }
+        {
+            let _s = r.span("stats.eigen");
+        }
+        let mut buf = Vec::new();
+        write_prometheus(&r.snapshot(), &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn counters_are_typed_and_sanitized() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_engine_memo_hits counter"));
+        assert!(text.contains("horizon_engine_memo_hits 5"));
+        assert!(text.contains("horizon_engine_disk_hits 1"));
+        assert!(!text.contains("engine.memo_hits"), "names are sanitized");
+    }
+
+    #[test]
+    fn histogram_family_is_cumulative_and_closed() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_engine_queue_wait_ns histogram"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_count{} 3"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_sum{} 73800"));
+    }
+
+    #[test]
+    fn span_wall_exposed_with_phase_label() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_span_wall_nanos histogram"));
+        assert!(
+            text.contains("horizon_span_wall_nanos_bucket{phase=\"stats.eigen\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("horizon_span_wall_nanos_count{phase=\"stats.eigen\"} 1"));
+    }
+
+    #[test]
+    fn parses_line_by_line() {
+        // Every non-comment line is `name{labels} value` or `name value`.
+        for line in sample_dump().lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (metric, value) = line.rsplit_once(' ').expect("metric and value");
+            assert!(!metric.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The thread-safe recorder and its span guards.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::snapshot::{SpanRecord, TelemetrySnapshot};
+
+/// A structured field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// Default cap on retained span records (counters and histograms are never
+/// capped). A full-scale `repro all` emits a few tens of thousands of
+/// spans; the cap exists so pathological loops (e.g. a Criterion bench
+/// iterating a recorded call millions of times) bound memory. Dropped
+/// spans are counted, never silent.
+pub const DEFAULT_SPAN_CAPACITY: usize = 262_144;
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    dropped_spans: u64,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Wall-time histogram per span name; fed on every span close, so
+    /// phase totals stay exact even past the span cap.
+    span_wall: BTreeMap<&'static str, Histogram>,
+}
+
+/// Collects spans, counters and histograms from any number of threads.
+#[derive(Debug)]
+pub struct Recorder {
+    /// Distinguishes recorders on the thread-local parent stack, so a span
+    /// of one recorder never becomes the parent of another recorder's span.
+    tag: u64,
+    enabled: bool,
+    span_capacity: usize,
+    epoch: Instant,
+    next_id: AtomicU64,
+    state: Mutex<State>,
+}
+
+static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Stack of `(recorder tag, span id)` for implicit parenting.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+fn current_thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        let mut id = cell.borrow_mut();
+        *id.get_or_insert_with(|| NEXT_THREAD.fetch_add(1, Ordering::Relaxed))
+    })
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder with the default span cap.
+    pub fn new() -> Self {
+        Recorder {
+            tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+            enabled: true,
+            span_capacity: DEFAULT_SPAN_CAPACITY,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    /// A recorder that ignores everything — for measuring instrumentation
+    /// overhead and for components that must run dark.
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            ..Recorder::new()
+        }
+    }
+
+    /// Overrides the retained-span cap (counters/histograms are unaffected).
+    #[must_use]
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        self.span_capacity = capacity;
+        self
+    }
+
+    /// True unless constructed with [`Recorder::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span. The guard records the span when dropped; its parent is
+    /// the innermost open span *of this recorder* on the current thread
+    /// (override with [`Span::set_parent`] for cross-thread work).
+    pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
+        if !self.enabled {
+            return Span::noop();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|&&(tag, _)| tag == self.tag)
+                .map(|&(_, id)| id);
+            stack.push((self.tag, id));
+            parent
+        });
+        Span {
+            inner: Some(ActiveSpan {
+                recorder: Arc::clone(self),
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                start_nanos: self.epoch.elapsed().as_nanos() as u64,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Adds `delta` to a named counter.
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state");
+        *state.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one sample into a named histogram.
+    pub fn histogram_record(&self, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state");
+        state.histograms.entry(name).or_default().record(value);
+    }
+
+    /// A consistent copy of everything recorded so far.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let state = self.state.lock().expect("telemetry state");
+        TelemetrySnapshot {
+            spans: state.spans.clone(),
+            dropped_spans: state.dropped_spans,
+            counters: state.counters.clone(),
+            histograms: state.histograms.clone(),
+            span_wall: state.span_wall.clone(),
+        }
+    }
+
+    /// Clears all recorded data (spans, counters, histograms).
+    pub fn reset(&self) {
+        *self.state.lock().expect("telemetry state") = State::default();
+    }
+
+    fn close_span(&self, span: &mut ActiveSpan) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&entry| entry == (self.tag, span.id))
+            {
+                stack.remove(pos);
+            }
+        });
+        let duration_nanos = span.start.elapsed().as_nanos() as u64;
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name,
+            thread: current_thread_id(),
+            start_nanos: span.start_nanos,
+            duration_nanos,
+            fields: std::mem::take(&mut span.fields),
+        };
+        let mut state = self.state.lock().expect("telemetry state");
+        state
+            .span_wall
+            .entry(span.name)
+            .or_default()
+            .record(duration_nanos);
+        if state.spans.len() < self.span_capacity {
+            state.spans.push(record);
+        } else {
+            state.dropped_spans += 1;
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    recorder: Arc<Recorder>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_nanos: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// An open span; recorded into its [`Recorder`] on drop. A no-op guard
+/// (from a disabled or missing recorder) costs nothing to hold.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// A guard that records nothing.
+    pub fn noop() -> Span {
+        Span { inner: None }
+    }
+
+    /// The span id, for explicit cross-thread parenting (`None` for no-op
+    /// guards).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|s| s.id)
+    }
+
+    /// Attaches a structured field, recorded when the span closes.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(span) = self.inner.as_mut() {
+            span.fields.push((key, value.into()));
+        }
+    }
+
+    /// Overrides the implicit (thread-local) parent — used when a span
+    /// belongs under work that started on another thread.
+    pub fn set_parent(&mut self, parent: Option<u64>) {
+        if let Some(span) = self.inner.as_mut() {
+            span.parent = parent;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(mut span) = self.inner.take() {
+            let recorder = Arc::clone(&span.recorder);
+            recorder.close_span(&mut span);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let r = Arc::new(Recorder::new());
+        {
+            let outer = r.span("outer");
+            let outer_id = outer.id().unwrap();
+            {
+                let mut mid = r.span("mid");
+                assert_eq!(
+                    mid.inner.as_ref().unwrap().parent,
+                    Some(outer_id),
+                    "implicit parent is the innermost open span"
+                );
+                mid.record("k", 7u64);
+                let _leaf = r.span("leaf");
+            }
+            let _sibling = r.span("sibling");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 4);
+        let outer = &snap.spans_named("outer")[0];
+        assert_eq!(outer.parent, None);
+        let mid = &snap.spans_named("mid")[0];
+        let leaf = &snap.spans_named("leaf")[0];
+        let sibling = &snap.spans_named("sibling")[0];
+        assert_eq!(mid.parent, Some(outer.id));
+        assert_eq!(leaf.parent, Some(mid.id));
+        assert_eq!(sibling.parent, Some(outer.id));
+        assert_eq!(mid.fields, vec![("k", FieldValue::U64(7))]);
+    }
+
+    #[test]
+    fn two_recorders_never_cross_parent() {
+        let a = Arc::new(Recorder::new());
+        let b = Arc::new(Recorder::new());
+        {
+            let _on_a = a.span("a.outer");
+            let on_b = b.span("b.span");
+            assert_eq!(on_b.inner.as_ref().unwrap().parent, None);
+        }
+        assert_eq!(b.snapshot().spans_named("b.span")[0].parent, None);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let r = Arc::new(Recorder::new());
+        let outer = r.span("campaign");
+        let outer_id = outer.id().unwrap();
+        let worker = Arc::clone(&r);
+        std::thread::spawn(move || {
+            let mut job = worker.span("job");
+            job.set_parent(Some(outer_id));
+        })
+        .join()
+        .unwrap();
+        drop(outer);
+        let snap = r.snapshot();
+        let job = &snap.spans_named("job")[0];
+        let campaign = &snap.spans_named("campaign")[0];
+        assert_eq!(job.parent, Some(campaign.id));
+        assert_ne!(job.thread, campaign.thread);
+    }
+
+    #[test]
+    fn span_cap_counts_drops_and_keeps_wall_histograms() {
+        let r = Arc::new(Recorder::new().with_span_capacity(2));
+        for _ in 0..5 {
+            let _s = r.span("phase");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped_spans, 3);
+        assert_eq!(snap.span_wall.get("phase").unwrap().count(), 5);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Arc::new(Recorder::disabled());
+        {
+            let mut s = r.span("x");
+            assert_eq!(s.id(), None);
+            s.record("k", 1u64);
+        }
+        r.counter_add("c", 1);
+        r.histogram_record("h", 1);
+        let snap = r.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset_clears() {
+        let r = Arc::new(Recorder::new());
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        assert_eq!(r.snapshot().counter("c"), 5);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c"), 0);
+        assert!(snap.spans.is_empty());
+    }
+}

@@ -69,6 +69,7 @@ impl CoreSimulator {
         let mut predictor = self.machine.predictor.build();
 
         if self.warmup > 0 {
+            let _prewarm_span = horizon_telemetry::span("sim.prewarm");
             // Only pre-warm regions that can actually stay resident: walking
             // a DRAM-scale region through the hierarchy would wash the LLC
             // right before measurement and re-cold every smaller region.
@@ -99,15 +100,19 @@ impl CoreSimulator {
 
         // Warmup: exercise all structures, then snapshot-subtract by simply
         // re-creating counters (structures keep their state).
-        for inst in gen.by_ref().take(self.warmup as usize) {
-            caches.access(inst.pc, AccessKind::Fetch);
-            tlbs.access_instruction(inst.pc);
-            if let Some(addr) = inst.data_address() {
-                caches.access(addr, AccessKind::Data);
-                tlbs.access_data(addr);
-            }
-            if let Kind::Branch { taken, .. } = inst.kind {
-                predictor.execute(inst.pc, taken);
+        {
+            let mut warmup_span = horizon_telemetry::span("sim.warmup");
+            warmup_span.record("instructions", self.warmup);
+            for inst in gen.by_ref().take(self.warmup as usize) {
+                caches.access(inst.pc, AccessKind::Fetch);
+                tlbs.access_instruction(inst.pc);
+                if let Some(addr) = inst.data_address() {
+                    caches.access(addr, AccessKind::Data);
+                    tlbs.access_data(addr);
+                }
+                if let Kind::Branch { taken, .. } = inst.kind {
+                    predictor.execute(inst.pc, taken);
+                }
             }
         }
         let warm = snapshot(&caches, &tlbs);
@@ -118,6 +123,8 @@ impl CoreSimulator {
             ..Default::default()
         };
 
+        let mut measure_span = horizon_telemetry::span("sim.measure");
+        measure_span.record("instructions", instructions);
         for inst in gen.take(instructions as usize) {
             c.instructions += 1;
             c.kernel_instructions += inst.kernel as u64;
@@ -147,6 +154,8 @@ impl CoreSimulator {
             }
         }
 
+        drop(measure_span);
+
         let end = snapshot(&caches, &tlbs);
         c.l1i_accesses = end.l1i_acc - warm.l1i_acc;
         c.l1i_misses = end.l1i_miss - warm.l1i_miss;
@@ -163,6 +172,15 @@ impl CoreSimulator {
         c.dtlb_misses = end.dtlb_miss - warm.dtlb_miss;
         c.page_walks_instruction = end.walks_i - warm.walks_i;
         c.page_walks_data = end.walks_d - warm.walks_d;
+
+        // Feed the measured cache/branch behavior into the telemetry
+        // counters (no-ops unless a recorder is installed process-wide).
+        horizon_telemetry::counter_add("sim.instructions", c.instructions);
+        horizon_telemetry::counter_add("sim.l1d_accesses", c.l1d_accesses);
+        horizon_telemetry::counter_add("sim.l1d_misses", c.l1d_misses);
+        horizon_telemetry::counter_add("sim.l3_accesses", c.l3_accesses);
+        horizon_telemetry::counter_add("sim.l3_misses", c.l3_misses);
+        horizon_telemetry::counter_add("sim.branch_mispredicts", c.mispredicts);
 
         c.cpi_stack = CpiStack::compute(&c, &self.machine);
         c
