@@ -5,6 +5,7 @@
 //! repro all [flags]
 //! repro list
 //! repro cache-gc --cache-dir DIR [--max-entries N]
+//! repro serve [--addr HOST:PORT] [flags]
 //!
 //! flags:
 //!   --quick             reduced-scale config (3 machines, short windows)
@@ -15,6 +16,11 @@
 //!   --trace-out <FILE>  write the run's telemetry trace as JSONL
 //!   --metrics-out <FILE> write counters/histograms in Prometheus text form
 //!   --max-entries <N>   cache-gc: entries to keep (default 1024)
+//!   --addr <HOST:PORT>  serve: bind address (default 127.0.0.1:7878)
+//!   --workers <N>       serve: request worker threads
+//!   --queue-cap <N>     serve: queued connections beyond busy workers
+//!                       (past the cap requests get 503 + Retry-After)
+//!   --request-timeout-ms <N>  serve: default per-run deadline
 //! ```
 //!
 //! Unknown flags are rejected with exit code 2. Experiment reports go to
@@ -25,9 +31,11 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use horizon_bench::serve::{ServeOptions, Server};
 use horizon_bench::{find_experiment, run_experiment, ReproConfig, REGISTRY};
 use horizon_engine::{DiskCache, Engine, EngineStats};
 use horizon_telemetry::Recorder;
+use std::time::Duration;
 
 struct Options {
     target: Option<String>,
@@ -38,6 +46,10 @@ struct Options {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     max_entries: Option<usize>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
+    request_timeout_ms: Option<u64>,
 }
 
 enum ParseError {
@@ -70,6 +82,10 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         trace_out: None,
         metrics_out: None,
         max_entries: None,
+        addr: None,
+        workers: None,
+        queue_cap: None,
+        request_timeout_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -106,6 +122,34 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
                     .ok_or(ParseError::BadValue("--max-entries", v))?;
                 opts.max_entries = Some(n);
             }
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--workers" => {
+                let v = value("--workers")?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--workers", v))?;
+                opts.workers = Some(n);
+            }
+            "--queue-cap" => {
+                let v = value("--queue-cap")?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--queue-cap", v))?;
+                opts.queue_cap = Some(n);
+            }
+            "--request-timeout-ms" => {
+                let v = value("--request-timeout-ms")?;
+                let n = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--request-timeout-ms", v))?;
+                opts.request_timeout_ms = Some(n);
+            }
             other if other.starts_with("--") => {
                 return Err(ParseError::UnknownFlag(other.to_string()));
             }
@@ -120,12 +164,18 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     Ok(opts)
 }
 
+/// Known non-experiment subcommands, for usage and error messages.
+const SUBCOMMANDS: &str = "all, list, serve, cache-gc, help";
+
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] \
          [--stats] [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20      repro cache-gc --cache-dir DIR [--max-entries N]"
+         \x20      repro cache-gc --cache-dir DIR [--max-entries N]\n\
+         \x20      repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--request-timeout-ms N] [--jobs N] [--cache-dir DIR]"
     );
+    eprintln!("subcommands: {SUBCOMMANDS}");
     let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
     eprintln!("experiments: {}", ids.join(", "));
 }
@@ -154,6 +204,48 @@ fn run_cache_gc(opts: &Options) -> u8 {
         }
         Err(e) => {
             eprintln!("error: cache gc failed for '{dir}': {e}");
+            1
+        }
+    }
+}
+
+/// Runs the persistent daemon until SIGTERM/SIGINT, then drains.
+fn run_serve(
+    opts: &Options,
+    engine: std::sync::Arc<Engine>,
+    recorder: std::sync::Arc<Recorder>,
+) -> u8 {
+    let mut serve_opts = ServeOptions::default();
+    if let Some(addr) = &opts.addr {
+        serve_opts.addr = addr.clone();
+    }
+    if let Some(workers) = opts.workers {
+        serve_opts.workers = workers;
+    }
+    if let Some(cap) = opts.queue_cap {
+        serve_opts.queue_cap = cap;
+    }
+    if let Some(ms) = opts.request_timeout_ms {
+        serve_opts.request_timeout = Duration::from_millis(ms);
+    }
+    let addr = serve_opts.addr.clone();
+    let server = match Server::bind(serve_opts, engine, recorder, opts.jobs) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind '{addr}': {e}");
+            return 1;
+        }
+    };
+    // The ready line is load-bearing: smoke tests and scripts parse the
+    // resolved (possibly ephemeral) port from it.
+    eprintln!("repro-serve listening on http://{}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            eprintln!("repro-serve: drained in-flight work, shutting down cleanly");
+            0
+        }
+        Err(e) => {
+            eprintln!("error: serve: {e}");
             1
         }
     }
@@ -220,11 +312,27 @@ fn main() -> ExitCode {
     let engine = Arc::new(engine);
     Arc::clone(&engine).install();
 
+    // The serve-only flags are rejected elsewhere so typos fail loudly
+    // instead of being silently ignored.
+    if opts.target.as_deref() != Some("serve") {
+        let misplaced: &[(&str, bool)] = &[
+            ("--addr", opts.addr.is_some()),
+            ("--workers", opts.workers.is_some()),
+            ("--queue-cap", opts.queue_cap.is_some()),
+            ("--request-timeout-ms", opts.request_timeout_ms.is_some()),
+        ];
+        if let Some((flag, _)) = misplaced.iter().find(|(_, set)| *set) {
+            eprintln!("error: flag '{flag}' only applies to `repro serve`");
+            return ExitCode::from(2);
+        }
+    }
+
     let mut code: u8 = match opts.target.as_deref() {
         None | Some("help") => {
             usage();
             2
         }
+        Some("serve") => run_serve(&opts, Arc::clone(&engine), Arc::clone(&recorder)),
         Some("list") => {
             for e in REGISTRY {
                 if e.aliases.is_empty() {
@@ -270,8 +378,10 @@ fn main() -> ExitCode {
                 }
             },
             None => {
-                eprintln!("error: unknown experiment '{name}'");
-                eprintln!("hint: run `repro list` for the catalog");
+                eprintln!("error: unknown subcommand or experiment '{name}'");
+                eprintln!("subcommands: {SUBCOMMANDS}");
+                let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+                eprintln!("experiments: {}", ids.join(", "));
                 2
             }
         },

@@ -1,0 +1,502 @@
+//! Minimal std-only HTTP/1.1 layer for the `repro serve` daemon.
+//!
+//! Deliberately tiny and defensive rather than general: one request per
+//! connection (`Connection: close`), no keep-alive, no chunked transfer
+//! encoding, hard caps on request-line length, header block size, header
+//! count and body size. Every malformed input maps to a 4xx/5xx
+//! [`HttpError`] — never a panic — so a hostile client cannot take the
+//! daemon down. The server half ([`crate::serve`]) owns routing; this
+//! module owns wire parsing and response formatting.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard limits applied while parsing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes in the request line (method + path + version).
+    pub max_request_line: usize,
+    /// Maximum total bytes across all header lines.
+    pub max_header_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum bytes in the request body (via `Content-Length`).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    /// Generous for JSON option bodies, hostile to abuse: 8 KiB request
+    /// line, 16 KiB of headers, 64 headers, 1 MiB body.
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed HTTP request: the subset of the wire format the daemon routes
+/// on. Header names are lowercased; only `Content-Length` influences
+/// parsing.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// Request target path, including any query string.
+    pub path: String,
+    /// Lowercased header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400 [`HttpError`] if the body is not valid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::new(400, "request body is not valid UTF-8"))
+    }
+
+    /// First value of a (lowercased) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request-parsing failure, carrying the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable cause, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// An error with the given status and message.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            status_text(self.status),
+            self.message
+        )
+    }
+}
+
+/// Maps an I/O failure during parsing to an [`HttpError`]: timeouts become
+/// 408, everything else 400 (the client broke the connection or sent
+/// garbage; either way it gets a 4xx, not a daemon crash).
+fn io_error(err: &io::Error, context: &str) -> HttpError {
+    match err.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            HttpError::new(408, format!("timed out {context}"))
+        }
+        _ => HttpError::new(400, format!("connection error {context}: {err}")),
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes, stripping the
+/// trailing `\r\n`/`\n`.
+fn read_line_limited(
+    reader: &mut impl BufRead,
+    cap: usize,
+    context: &str,
+) -> Result<String, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::new(400, format!("connection closed {context}")));
+                }
+                break; // tolerate a final unterminated line
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                if line.len() >= cap {
+                    return Err(HttpError::new(431, format!("line too long {context}")));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(&e, context)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::new(400, format!("non-UTF-8 {context}")))
+}
+
+/// True for the token characters RFC 9110 allows in a method name.
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Reads and validates one request from `reader` under `limits`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] with the 4xx/5xx status the server should
+/// answer with: 400 for malformed syntax or truncated bodies, 408 for
+/// socket timeouts, 413 for oversized bodies, 431 for oversized
+/// request/header lines, 501 for transfer encodings this layer does not
+/// implement, and 505 for unknown HTTP versions.
+pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Request, HttpError> {
+    let request_line = read_line_limited(reader, limits.max_request_line, "reading request line")?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!("malformed request line '{request_line}'"),
+            ))
+        }
+    };
+    if !is_token(method) {
+        return Err(HttpError::new(400, format!("malformed method '{method}'")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::new(400, format!("malformed path '{path}'")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(
+            505,
+            format!("unsupported version '{version}'"),
+        ));
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line_limited(reader, limits.max_header_bytes, "reading headers")?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > limits.max_header_bytes {
+            return Err(HttpError::new(431, "header block too large"));
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(400, format!("malformed header '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::new(501, "transfer encodings are not supported"));
+    }
+
+    let mut content_length = 0usize;
+    let mut lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    if let Some((_, raw)) = lengths.next() {
+        if lengths.any(|(_, other)| other != raw) {
+            return Err(HttpError::new(400, "conflicting content-length headers"));
+        }
+        content_length = raw
+            .parse::<usize>()
+            .map_err(|_| HttpError::new(400, format!("bad content-length '{raw}'")))?;
+        if content_length > limits.max_body_bytes {
+            return Err(HttpError::new(
+                413,
+                format!(
+                    "body of {content_length} bytes exceeds the {} byte limit",
+                    limits.max_body_bytes
+                ),
+            ));
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::new(400, "truncated request body")
+            } else {
+                io_error(&e, "reading request body")
+            }
+        })?;
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// An outgoing response. Always `Connection: close` with an explicit
+/// `Content-Length`, so clients can read to EOF.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers (e.g. `Retry-After`, `Allow`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given serialized body.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": "..."}` for the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let quoted =
+            serde_json::to_string(&message.to_string()).unwrap_or_else(|_| "\"error\"".to_string());
+        Response::json(status, format!("{{\"error\":{quoted}}}"))
+    }
+
+    /// Adds an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response to the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out` (typically a hung-up client).
+    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(&self.body)?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(input: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(input.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse(b"POST /run/table1 HTTP/1.1\r\nContent-Length: 14\r\n\r\n{\"quick\":true}")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str().unwrap(), "{\"quick\":true}");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(10_000));
+        assert_eq!(parse(long.as_bytes()).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_header_block_is_431() {
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..10 {
+            input.extend_from_slice(format!("X-H{i}: {}\r\n", "v".repeat(2_000)).as_bytes());
+        }
+        input.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&input).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut input = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            input.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        input.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&input).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn bad_content_length_is_400() {
+        for bad in ["abc", "-1", "1e3", ""] {
+            let input = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            assert_eq!(parse(input.as_bytes()).unwrap_err().status, 400, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_400() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\na")
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_body_is_413_before_reading_it() {
+        let input = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            Limits::default().max_body_bytes + 1
+        );
+        assert_eq!(parse(input.as_bytes()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let err = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn unknown_version_is_505() {
+        assert_eq!(parse(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(parse(b"GET / FTP\r\n\r\n").unwrap_err().status, 505);
+    }
+
+    #[test]
+    fn malformed_inputs_are_4xx_never_panics() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"\r\n",
+            b"GET\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"GET path-without-slash HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nheader-without-colon\r\n\r\n",
+            b"\xff\xfe\xfd",
+            b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\n",
+        ];
+        for case in cases {
+            let err = parse(case).unwrap_err();
+            assert!(
+                (400..=505).contains(&err.status),
+                "case {case:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_utf8_body_str_is_400() {
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\n\xff\xfe").unwrap();
+        assert_eq!(req.body_str().unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn response_wire_format_is_complete() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("Retry-After", "1")
+            .write_to(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_bodies_escape_messages() {
+        let resp = Response::error(400, "bad \"quote\"");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body, "{\"error\":\"bad \\\"quote\\\"\"}");
+    }
+}

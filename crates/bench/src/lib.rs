@@ -3,10 +3,17 @@
 //! Each `table_*` / `fig_*` function runs the full pipeline for one
 //! experiment and returns the report as text. The `repro` binary prints
 //! them; the Criterion benches time them at reduced scale; the integration
-//! tests assert their headline properties.
+//! tests assert their headline properties. The [`serve`] module wraps the
+//! same registry in a persistent HTTP daemon (`repro serve`) sharing one
+//! warm engine across requests.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the daemon's signal handling
+// (`serve::signal`) carries the crate's one audited `unsafe` block.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod http;
+pub mod serve;
 
 use horizon_core::balance::{compare_coverage, power_analysis, removed_coverage};
 use horizon_core::campaign::{Campaign, CampaignResult};

@@ -1,0 +1,921 @@
+//! `repro serve` — a persistent characterization daemon.
+//!
+//! Batch mode pays the full simulation bill on every invocation; the
+//! daemon keeps one warm [`Engine`] (memo table + optional disk cache) and
+//! one global [`Recorder`] alive across requests, so repeated
+//! characterization queries are served from cache at interactive latency —
+//! characterization-as-a-service over the experiment [`REGISTRY`].
+//!
+//! # Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + warm-cache size |
+//! | `GET /experiments` | the experiment registry as JSON |
+//! | `POST /run/{experiment}` | run one experiment; JSON body for window/jobs/quick options |
+//! | `GET /metrics` | live Prometheus text exposition of the shared recorder |
+//! | `POST /cache/gc` | LRU-prune the on-disk cache ([`horizon_engine::GcReport`] JSON) |
+//!
+//! The served `report` string is byte-identical to the experiment's batch
+//! `repro <experiment>` stdout (report text plus trailing newline): both
+//! paths call [`run_experiment`] with the same [`ReproConfig`], and engine
+//! results are bit-identical regardless of worker count or cache state.
+//!
+//! # Robustness
+//!
+//! * **Bounded worker pool** — `workers` threads consume accepted
+//!   connections from a queue capped at `queue_cap`; past the cap the
+//!   accept loop answers `503` with `Retry-After` *inline*, so saturation
+//!   never kills in-flight work and never blocks the accept thread on a
+//!   slow handler.
+//! * **Deadlines** — socket reads/writes carry an I/O timeout; each run
+//!   executes under a per-request deadline (`deadline_ms` in the body,
+//!   else the server default). A run that overshoots answers `504`, and
+//!   the computation is left to finish on a detached thread — its results
+//!   still land in the shared engine cache, so a retry is cheap.
+//! * **Hardened parsing** — see [`crate::http`]: malformed requests map to
+//!   4xx responses, never a panic; a panicking handler poisons nothing
+//!   because workers catch unwinds and answer `500`.
+//! * **Graceful shutdown** — `SIGTERM`/`SIGINT` (or
+//!   [`Server::shutdown_handle`]) stop the accept loop, drain queued and
+//!   in-flight requests, wait for detached runs up to a drain deadline,
+//!   and return so the caller can flush telemetry sinks and exit 0.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use horizon_engine::Engine;
+use horizon_telemetry::Recorder;
+use serde::Value;
+
+use crate::http::{read_request, HttpError, Limits, Request, Response};
+use crate::{find_experiment, run_experiment, Experiment, ReproConfig, REGISTRY};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `HOST:PORT` to bind (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Maximum connections queued beyond the busy workers; excess gets an
+    /// inline `503` + `Retry-After`.
+    pub queue_cap: usize,
+    /// Default per-run deadline (a request body's `deadline_ms` overrides
+    /// it); overshooting runs answer `504` and detach.
+    pub request_timeout: Duration,
+    /// Socket read/write timeout for request parsing and response writes.
+    pub io_timeout: Duration,
+    /// How long shutdown waits for detached (timed-out) runs to finish.
+    pub drain_timeout: Duration,
+    /// Request parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 8),
+            queue_cap: 64,
+            request_timeout: Duration::from_secs(600),
+            io_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(30),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Unix signal plumbing: a handler that flips one atomic flag, the only
+/// async-signal-safe thing worth doing. The accept loop polls the flag.
+#[cfg(unix)]
+mod signal {
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Routes `SIGTERM` and `SIGINT` into the shutdown flag.
+    pub fn install() {
+        // SAFETY: `signal` is installed with a handler that only performs
+        // an atomic store, which is async-signal-safe; the handler pointer
+        // outlives the process.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal {
+    /// Non-unix builds have no signal-driven shutdown; use
+    /// [`super::Server::shutdown_handle`].
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Error returned by [`Pool::try_submit`] when the queue is at capacity;
+/// carries the rejected item back so the caller can answer `503` on it.
+struct Saturated<T>(T);
+
+struct PoolShared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    cap: usize,
+    stop: AtomicBool,
+}
+
+/// A fixed-size worker pool over a bounded FIFO queue of `T`, each item
+/// handled by one shared handler function. Shutdown is draining: workers
+/// finish every queued item before exiting.
+struct Pool<T: Send + 'static> {
+    shared: Arc<PoolShared<T>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Pool<T> {
+    fn new(workers: usize, cap: usize, handler: impl Fn(T) + Send + Sync + 'static) -> Pool<T> {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+            stop: AtomicBool::new(false),
+        });
+        let handler = Arc::new(handler);
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let item = {
+                            let mut queue = shared.queue.lock().expect("pool queue");
+                            loop {
+                                if let Some(item) = queue.pop_front() {
+                                    break Some(item);
+                                }
+                                if shared.stop.load(Ordering::SeqCst) {
+                                    break None;
+                                }
+                                queue = shared.ready.wait(queue).expect("pool queue");
+                            }
+                        };
+                        match item {
+                            // A panicking handler must not take the worker
+                            // (or the process) down with it.
+                            Some(item) => {
+                                let _ =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        handler(item)
+                                    }));
+                            }
+                            None => break,
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Enqueues `item` unless the queue is at capacity.
+    fn try_submit(&self, item: T) -> Result<(), Saturated<T>> {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            if queue.len() >= self.shared.cap {
+                return Err(Saturated(item));
+            }
+            queue.push_back(item);
+        }
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Queued (not yet claimed) items.
+    #[cfg(test)]
+    fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("pool queue").len()
+    }
+
+    /// Drains the queue and joins every worker.
+    fn shutdown(self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// State shared between the accept loop, workers and detached runs.
+struct ServerState {
+    engine: Arc<Engine>,
+    recorder: Arc<Recorder>,
+    opts: ServeOptions,
+    started: Instant,
+    /// Worker count the daemon was started with; per-request `jobs`
+    /// overrides are restored to this after the run.
+    default_jobs: Option<usize>,
+    /// Runs still executing (including detached, timed-out ones); shutdown
+    /// drains this gauge before returning.
+    inflight_runs: AtomicUsize,
+}
+
+/// The daemon: a bound listener plus its worker pool. Construct with
+/// [`Server::bind`], then [`Server::run`] until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    pool: Pool<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool. `engine` and
+    /// `recorder` are the long-lived shared instances — the same engine
+    /// memo serves every request, which is the point of daemon mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, bad syntax).
+    pub fn bind(
+        opts: ServeOptions,
+        engine: Arc<Engine>,
+        recorder: Arc<Recorder>,
+        default_jobs: Option<usize>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            recorder,
+            opts,
+            started: Instant::now(),
+            default_jobs,
+            inflight_runs: AtomicUsize::new(0),
+        });
+        let handler_state = Arc::clone(&state);
+        let pool = Pool::new(
+            state.opts.workers,
+            state.opts.queue_cap,
+            move |stream: TcpStream| handle_connection(&handler_state, stream),
+        );
+        Ok(Server {
+            listener,
+            local_addr,
+            state,
+            pool,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A flag that stops the accept loop when set — the programmatic
+    /// equivalent of `SIGTERM`, used by tests and embedders.
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Installs `SIGTERM`/`SIGINT` handlers and serves until one fires (or
+    /// the [`Server::shutdown_handle`] flag is set), then drains: queued
+    /// and in-flight requests complete, detached runs get up to the drain
+    /// timeout, and the method returns `Ok(())` for a clean exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only for unrecoverable listener failures;
+    /// per-connection errors are answered with 4xx/5xx responses instead.
+    pub fn run(self) -> std::io::Result<()> {
+        signal::install();
+        let poll = Duration::from_millis(25);
+        while !(self.shutdown.load(Ordering::SeqCst) || signal::requested()) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(poll),
+                // Transient accept failures (e.g. EMFILE, aborted
+                // handshakes) must not kill the daemon.
+                Err(_) => std::thread::sleep(poll),
+            }
+        }
+        drop(self.listener); // stop accepting before draining
+        self.pool.shutdown();
+        let drain_deadline = Instant::now() + self.state.opts.drain_timeout;
+        while self.state.inflight_runs.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(poll);
+        }
+        Ok(())
+    }
+
+    /// Hands an accepted connection to the pool, or answers `503` inline
+    /// when saturated (cheap enough for the accept thread: one small
+    /// write under a write timeout).
+    fn dispatch(&self, stream: TcpStream) {
+        if let Err(Saturated(stream)) = self.pool.try_submit(stream) {
+            reject_saturated(&self.state, stream);
+        }
+    }
+}
+
+/// Serves one connection: parse, route, respond, record telemetry.
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
+    let started = Instant::now();
+    let rec = &state.recorder;
+    rec.counter_add("serve.requests", 1);
+    let _ = stream.set_read_timeout(Some(state.opts.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.opts.io_timeout));
+    let mut reader = BufReader::new(stream);
+
+    let mut span = rec.span("serve.request");
+    let response = match read_request(&mut reader, &state.opts.limits) {
+        Ok(request) => {
+            span.record("method", request.method.as_str());
+            span.record("path", request.path.as_str());
+            route(state, &request)
+        }
+        Err(e) => {
+            rec.counter_add("serve.bad_requests", 1);
+            span.record("path", "<unparsed>");
+            Response::error(e.status, &e.message)
+        }
+    };
+    span.record("status", u64::from(response.status));
+    match response.status / 100 {
+        2 => rec.counter_add("serve.http_2xx", 1),
+        4 => rec.counter_add("serve.http_4xx", 1),
+        _ => rec.counter_add("serve.http_5xx", 1),
+    }
+    rec.histogram_record("serve.request_wall_ns", started.elapsed().as_nanos() as u64);
+    if response.write_to(reader.get_mut()).is_err() {
+        rec.counter_add("serve.write_failures", 1);
+    }
+}
+
+/// Writes the saturation response on the accept thread.
+fn reject_saturated(state: &ServerState, mut stream: TcpStream) {
+    state.recorder.counter_add("serve.saturated", 1);
+    state.recorder.counter_add("serve.http_5xx", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = Response::error(503, "request queue is full")
+        .with_header("Retry-After", "1")
+        .write_to(&mut stream);
+    // Drain whatever request bytes the client already sent before closing.
+    // Closing with unread input makes the kernel answer with RST, which can
+    // discard the 503 before the client reads it.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Routes a parsed request to its endpoint handler.
+fn route(state: &Arc<ServerState>, request: &Request) -> Response {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/experiments") => experiments(),
+        ("GET", "/metrics") => Response::text(200, state.recorder.prometheus_text()),
+        ("POST", "/cache/gc") => cache_gc(state, request),
+        ("POST", run_path) if run_path.starts_with("/run/") => {
+            run(state, &run_path["/run/".len()..], request)
+        }
+        (_, "/healthz" | "/experiments" | "/metrics") => {
+            Response::error(405, "method not allowed").with_header("Allow", "GET")
+        }
+        (_, "/cache/gc") => Response::error(405, "method not allowed").with_header("Allow", "POST"),
+        (_, run_path) if run_path.starts_with("/run/") => {
+            Response::error(405, "method not allowed").with_header("Allow", "POST")
+        }
+        _ => Response::error(404, &format!("no such endpoint '{path}'")),
+    }
+}
+
+fn json_str(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn json_num(n: impl std::fmt::Display) -> Value {
+    Value::Num(n.to_string())
+}
+
+fn to_json(value: &Value) -> String {
+    serde_json::to_string(value).expect("value tree serializes")
+}
+
+/// `GET /healthz`: liveness, uptime, and the warm-cache size that makes
+/// daemon mode worth running.
+fn healthz(state: &ServerState) -> Response {
+    let body = Value::Map(vec![
+        ("status".into(), json_str("ok")),
+        (
+            "uptime_ms".into(),
+            json_num(state.started.elapsed().as_millis()),
+        ),
+        ("experiments".into(), json_num(REGISTRY.len())),
+        ("memo_entries".into(), json_num(state.engine.memo_entries())),
+        ("workers".into(), json_num(state.opts.workers)),
+        ("queue_cap".into(), json_num(state.opts.queue_cap)),
+    ]);
+    Response::json(200, to_json(&body))
+}
+
+/// `GET /experiments`: the registry as JSON.
+fn experiments() -> Response {
+    let list: Vec<Value> = REGISTRY
+        .iter()
+        .map(|e| {
+            Value::Map(vec![
+                ("id".into(), json_str(e.id)),
+                (
+                    "aliases".into(),
+                    Value::Seq(e.aliases.iter().map(|a| json_str(a)).collect()),
+                ),
+                ("summary".into(), json_str(e.summary)),
+            ])
+        })
+        .collect();
+    Response::json(200, to_json(&Value::Seq(list)))
+}
+
+/// `POST /cache/gc`: LRU-prune the daemon's disk cache.
+fn cache_gc(state: &ServerState, request: &Request) -> Response {
+    let Some(cache) = state.engine.cache() else {
+        return Response::error(409, "no --cache-dir configured for this daemon");
+    };
+    let max_entries = match parse_gc_options(request) {
+        Ok(n) => n,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+    match cache.gc(max_entries) {
+        Ok(report) => match serde_json::to_string(&report) {
+            Ok(body) => Response::json(200, body),
+            Err(e) => Response::error(500, &format!("cannot serialize gc report: {e}")),
+        },
+        Err(e) => Response::error(500, &format!("cache gc failed: {e}")),
+    }
+}
+
+fn parse_gc_options(request: &Request) -> Result<usize, HttpError> {
+    if request.body.is_empty() {
+        return Ok(1024);
+    }
+    let value: Value = serde_json::from_str(request.body_str()?)
+        .map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))?;
+    let Value::Map(entries) = value else {
+        return Err(HttpError::new(400, "body must be a JSON object"));
+    };
+    let mut max_entries = 1024usize;
+    for (key, value) in &entries {
+        match key.as_str() {
+            "max_entries" => {
+                max_entries = parse_u64(value, "max_entries")? as usize;
+            }
+            other => {
+                return Err(HttpError::new(400, format!("unknown option '{other}'")));
+            }
+        }
+    }
+    Ok(max_entries)
+}
+
+/// Per-request run options, mirroring the batch CLI flags.
+struct RunOptions {
+    quick: bool,
+    instructions: Option<u64>,
+    warmup: Option<u64>,
+    seed: Option<u64>,
+    jobs: Option<usize>,
+    deadline: Option<Duration>,
+}
+
+fn parse_u64(value: &Value, key: &str) -> Result<u64, HttpError> {
+    use serde::Deserialize;
+    u64::from_value(value).map_err(|e| HttpError::new(400, format!("option '{key}': {e}")))
+}
+
+/// Parses the `POST /run/...` JSON body; unknown keys are rejected so
+/// typos fail loudly instead of silently running the wrong config.
+fn parse_run_options(request: &Request) -> Result<RunOptions, HttpError> {
+    use serde::Deserialize;
+    let mut opts = RunOptions {
+        quick: false,
+        instructions: None,
+        warmup: None,
+        seed: None,
+        jobs: None,
+        deadline: None,
+    };
+    if request.body.is_empty() {
+        return Ok(opts);
+    }
+    let value: Value = serde_json::from_str(request.body_str()?)
+        .map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))?;
+    let Value::Map(entries) = value else {
+        return Err(HttpError::new(400, "body must be a JSON object"));
+    };
+    for (key, value) in &entries {
+        match key.as_str() {
+            "quick" => {
+                opts.quick = bool::from_value(value)
+                    .map_err(|e| HttpError::new(400, format!("option 'quick': {e}")))?;
+            }
+            "instructions" => {
+                let n = parse_u64(value, "instructions")?;
+                if n == 0 {
+                    return Err(HttpError::new(
+                        400,
+                        "option 'instructions' must be positive",
+                    ));
+                }
+                opts.instructions = Some(n);
+            }
+            "warmup" => opts.warmup = Some(parse_u64(value, "warmup")?),
+            "seed" => opts.seed = Some(parse_u64(value, "seed")?),
+            "jobs" => {
+                let n = parse_u64(value, "jobs")?;
+                if n == 0 {
+                    return Err(HttpError::new(400, "option 'jobs' must be positive"));
+                }
+                opts.jobs = Some(n as usize);
+            }
+            "deadline_ms" => {
+                let ms = parse_u64(value, "deadline_ms")?;
+                if ms == 0 {
+                    return Err(HttpError::new(400, "option 'deadline_ms' must be positive"));
+                }
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
+            other => {
+                return Err(HttpError::new(400, format!("unknown option '{other}'")));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Decrements the in-flight gauge when a run finishes, even by panic.
+struct InflightGuard(Arc<ServerState>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.inflight_runs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` on its own thread, waiting at most `deadline` for the result.
+/// On timeout the thread is left to finish detached (tracked by the
+/// in-flight gauge) — for experiment runs that means the shared engine
+/// cache still gets warmed, so the client's retry is cheap.
+fn with_deadline<T: Send + 'static>(
+    state: &Arc<ServerState>,
+    deadline: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = mpsc::channel();
+    state.inflight_runs.fetch_add(1, Ordering::SeqCst);
+    let guard_state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let _guard = InflightGuard(guard_state);
+        // A lost receiver (deadline elapsed, client answered 504) is fine.
+        let _ = tx.send(f());
+    });
+    // Timeout and Disconnected (the run thread panicked) both map to None.
+    rx.recv_timeout(deadline).ok()
+}
+
+/// `POST /run/{experiment}`: execute one registry experiment on the warm
+/// engine and return the report plus cache-effectiveness counters.
+fn run(state: &Arc<ServerState>, name: &str, request: &Request) -> Response {
+    let Some(experiment) = find_experiment(name) else {
+        let known: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        return Response::error(
+            404,
+            &format!("unknown experiment '{name}' (known: {})", known.join(", ")),
+        );
+    };
+    let opts = match parse_run_options(request) {
+        Ok(opts) => opts,
+        Err(e) => return Response::error(e.status, &e.message),
+    };
+
+    let mut cfg = if opts.quick {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::default()
+    };
+    if let Some(instructions) = opts.instructions {
+        cfg.campaign.instructions = instructions;
+    }
+    if let Some(warmup) = opts.warmup {
+        cfg.campaign.warmup = warmup;
+    }
+    if let Some(seed) = opts.seed {
+        cfg.campaign.seed = seed;
+    }
+    if let Some(jobs) = opts.jobs {
+        // Best-effort under concurrency: worker count changes wall clock
+        // only, never results (engine determinism), so a racing request
+        // cannot corrupt anything.
+        state.engine.set_jobs(Some(jobs));
+    }
+
+    let rec = &state.recorder;
+    let before_memo = rec.counter_value("engine.memo_hits");
+    let before_disk = rec.counter_value("engine.disk_hits");
+    let before_sim = rec.counter_value("engine.simulated_jobs");
+
+    let deadline = opts.deadline.unwrap_or(state.opts.request_timeout);
+    let run_started = Instant::now();
+    let outcome = with_deadline(state, deadline, {
+        let cfg = cfg.clone();
+        let experiment: &'static Experiment = experiment;
+        move || run_experiment(experiment, &cfg)
+    });
+    if opts.jobs.is_some() {
+        state.engine.set_jobs(state.default_jobs);
+    }
+
+    match outcome {
+        None => {
+            rec.counter_add("serve.deadline_exceeded", 1);
+            Response::error(
+                504,
+                &format!(
+                    "experiment '{}' exceeded its {} ms deadline (the run continues in the \
+                     background and will warm the cache; retry later)",
+                    experiment.id,
+                    deadline.as_millis()
+                ),
+            )
+        }
+        Some(Err(e)) => Response::error(500, &format!("experiment '{}': {e}", experiment.id)),
+        Some(Ok(report)) => {
+            let engine_stats = Value::Map(vec![
+                (
+                    "memo_hits_delta".into(),
+                    json_num(rec.counter_value("engine.memo_hits") - before_memo),
+                ),
+                (
+                    "disk_hits_delta".into(),
+                    json_num(rec.counter_value("engine.disk_hits") - before_disk),
+                ),
+                (
+                    "simulated_jobs_delta".into(),
+                    json_num(rec.counter_value("engine.simulated_jobs") - before_sim),
+                ),
+                ("memo_entries".into(), json_num(state.engine.memo_entries())),
+            ]);
+            let body = Value::Map(vec![
+                ("experiment".into(), json_str(experiment.id)),
+                ("quick".into(), Value::Bool(opts.quick)),
+                (
+                    "wall_ms".into(),
+                    json_num(run_started.elapsed().as_millis()),
+                ),
+                ("engine".into(), engine_stats),
+                // Byte-identical to batch mode's `println!("{report}")`.
+                ("report".into(), json_str(&format!("{report}\n"))),
+            ]);
+            Response::json(200, to_json(&body))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicU32;
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    fn job_pool(workers: usize, cap: usize) -> Pool<Job> {
+        Pool::new(workers, cap, |job: Job| job())
+    }
+
+    fn test_server(workers: usize, queue_cap: usize) -> Server {
+        let opts = ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_cap,
+            request_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        };
+        Server::bind(
+            opts,
+            Arc::new(Engine::new()),
+            Arc::new(Recorder::new()),
+            None,
+        )
+        .expect("bind ephemeral")
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_drains_on_shutdown() {
+        let pool = job_pool(2, 16);
+        let ran = Arc::new(AtomicU32::new(0));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("pool saturated unexpectedly"));
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "shutdown drains the queue");
+    }
+
+    #[test]
+    fn pool_rejects_past_queue_cap_and_recovers() {
+        let pool = job_pool(1, 1);
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        }))
+        .unwrap_or_else(|_| panic!("first job rejected"));
+        // Wait until the worker owns the blocking job (queue is empty).
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker picked up the job");
+
+        let ran = Arc::new(AtomicU32::new(0));
+        let queued = Arc::clone(&ran);
+        pool.try_submit(Box::new(move || {
+            queued.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap_or_else(|_| panic!("queue slot rejected"));
+        assert_eq!(pool.queued(), 1);
+        assert!(
+            pool.try_submit(Box::new(|| {})).is_err(),
+            "queue past cap must saturate"
+        );
+
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "queued job still ran");
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let pool = job_pool(1, 4);
+        pool.try_submit(Box::new(|| panic!("handler bug")))
+            .unwrap_or_else(|_| panic!("rejected"));
+        let ran = Arc::new(AtomicU32::new(0));
+        let after = Arc::clone(&ran);
+        pool.try_submit(Box::new(move || {
+            after.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap_or_else(|_| panic!("rejected"));
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "worker outlived the panic");
+    }
+
+    #[test]
+    fn with_deadline_returns_fast_results_and_abandons_slow_ones() {
+        let server = test_server(1, 1);
+        let state = Arc::clone(&server.state);
+        assert_eq!(with_deadline(&state, Duration::from_secs(5), || 7), Some(7));
+        let slow = with_deadline(&state, Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_millis(300));
+            7
+        });
+        assert_eq!(slow, None, "slow work answers None (mapped to 504)");
+        assert_eq!(state.inflight_runs.load(Ordering::SeqCst), 1, "detached");
+        std::thread::sleep(Duration::from_millis(500));
+        assert_eq!(state.inflight_runs.load(Ordering::SeqCst), 0, "drained");
+    }
+
+    #[test]
+    fn saturated_server_answers_503_without_killing_in_flight_work() {
+        let server = test_server(1, 1);
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let recorder = Arc::clone(&server.state.recorder);
+        let serving = std::thread::spawn(move || server.run());
+
+        // Occupy the single worker and the single queue slot with
+        // connections that send nothing (the worker blocks reading).
+        let hold_worker = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_millis(400));
+        let hold_queue = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_millis(400));
+
+        let response = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            response.starts_with("HTTP/1.1 503 "),
+            "expected saturation 503, got: {response}"
+        );
+        assert!(response.contains("Retry-After: 1"), "{response}");
+
+        // Releasing the held connections lets the daemon serve again: the
+        // saturation rejection killed nothing in flight.
+        drop(hold_worker);
+        drop(hold_queue);
+        std::thread::sleep(Duration::from_millis(400));
+        let response = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            response.starts_with("HTTP/1.1 200 "),
+            "daemon should recover after saturation, got: {response}"
+        );
+        assert!(recorder.counter_value("serve.saturated") >= 1);
+
+        shutdown.store(true, Ordering::SeqCst);
+        serving.join().expect("serve thread").expect("clean exit");
+    }
+
+    #[test]
+    fn router_covers_errors_and_health() {
+        let server = test_server(2, 8);
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let serving = std::thread::spawn(move || server.run());
+
+        let health = request(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let list = request(addr, "GET /experiments HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(list.contains("\"id\":\"table1\""), "{list}");
+        let metrics = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(metrics.contains("horizon_serve_requests"), "{metrics}");
+
+        let missing = request(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404 "), "{missing}");
+        let bad_method = request(addr, "DELETE /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(bad_method.starts_with("HTTP/1.1 405 "), "{bad_method}");
+        assert!(bad_method.contains("Allow: GET"), "{bad_method}");
+        let get_run = request(addr, "GET /run/table1 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(get_run.starts_with("HTTP/1.1 405 "), "{get_run}");
+        let garbage = request(addr, "THIS IS NOT HTTP\r\n\r\n");
+        assert!(garbage.starts_with("HTTP/1.1 400 "), "{garbage}");
+        let no_cache = request(
+            addr,
+            "POST /cache/gc HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(no_cache.starts_with("HTTP/1.1 409 "), "{no_cache}");
+        let unknown_exp = request(
+            addr,
+            "POST /run/nope HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(unknown_exp.starts_with("HTTP/1.1 404 "), "{unknown_exp}");
+        let bad_body = "POST /run/table1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\nnot json!";
+        let bad = request(addr, bad_body);
+        assert!(bad.starts_with("HTTP/1.1 400 "), "{bad}");
+        let unknown_opt =
+            "POST /run/table1 HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"typo\":true}";
+        let unknown = request(addr, unknown_opt);
+        assert!(unknown.starts_with("HTTP/1.1 400 "), "{unknown}");
+
+        shutdown.store(true, Ordering::SeqCst);
+        serving.join().expect("serve thread").expect("clean exit");
+    }
+}

@@ -264,3 +264,31 @@ fn unknown_flags_and_experiments_are_rejected() {
     let out = run(&["table1", "--trace-out"]);
     assert_eq!(out.status.code(), Some(2), "missing flag value");
 }
+
+#[test]
+fn unknown_subcommand_lists_known_subcommands() {
+    let out = run(&["serv"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("unknown subcommand or experiment 'serv'"),
+        "stderr: {stderr}"
+    );
+    for name in ["all", "list", "serve", "cache-gc", "help"] {
+        assert!(
+            stderr.contains(name),
+            "stderr should list subcommand '{name}': {stderr}"
+        );
+    }
+    assert!(
+        stderr.contains("table1"),
+        "stderr should list experiments: {stderr}"
+    );
+
+    // Serve-only flags outside `repro serve` are usage errors, not silently
+    // ignored knobs.
+    let out = run(&["table1", "--quick", "--queue-cap", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--queue-cap"), "stderr: {stderr}");
+}

@@ -27,8 +27,9 @@ struct CacheEntry {
     measurement: Measurement,
 }
 
-/// Result of one [`DiskCache::gc`] pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Result of one [`DiskCache::gc`] pass. Serializable so the `repro
+/// serve` daemon can return it as a JSON response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct GcReport {
     /// Entries present before the pass.
     pub examined: u64,

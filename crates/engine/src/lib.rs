@@ -96,7 +96,11 @@ type ProgressCallback = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
 /// The execution engine. Cheap to construct; hold one for the process
 /// lifetime to maximize memoization.
 pub struct Engine {
-    jobs: Option<usize>,
+    /// Pinned worker count; `0` means "unset" (fall back to `HORIZON_JOBS`
+    /// or auto-detection). Atomic so long-lived holders (the `repro serve`
+    /// daemon) can retune a shared engine between requests; determinism
+    /// guarantees the setting only affects wall clock, never results.
+    jobs: AtomicUsize,
     disk: Option<DiskCache>,
     memo: Mutex<HashMap<Fingerprint, Measurement>>,
     recorder: Arc<Recorder>,
@@ -114,7 +118,7 @@ impl Engine {
     /// and a private telemetry recorder.
     pub fn new() -> Self {
         Engine {
-            jobs: None,
+            jobs: AtomicUsize::new(0),
             disk: None,
             memo: Mutex::new(HashMap::new()),
             recorder: Arc::new(Recorder::new()),
@@ -128,10 +132,23 @@ impl Engine {
     ///
     /// Panics if `jobs` is zero.
     #[must_use]
-    pub fn with_jobs(mut self, jobs: usize) -> Self {
+    pub fn with_jobs(self, jobs: usize) -> Self {
         assert!(jobs > 0, "worker count must be positive");
-        self.jobs = Some(jobs);
+        self.jobs.store(jobs, Ordering::Relaxed);
         self
+    }
+
+    /// Retunes the worker count of a live engine (`None` restores
+    /// `HORIZON_JOBS`/auto-detection). Results are unaffected — campaign
+    /// output is bit-identical across worker counts — so concurrent callers
+    /// can only influence each other's wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is `Some(0)`.
+    pub fn set_jobs(&self, jobs: Option<usize>) {
+        assert!(jobs != Some(0), "worker count must be positive");
+        self.jobs.store(jobs.unwrap_or(0), Ordering::Relaxed);
     }
 
     /// Attaches an on-disk cache rooted at `dir`.
@@ -158,6 +175,21 @@ impl Engine {
     /// The engine's telemetry recorder.
     pub fn recorder(&self) -> &Arc<Recorder> {
         &self.recorder
+    }
+
+    /// The attached on-disk cache, if [`Engine::with_cache_dir`] configured
+    /// one. Long-lived holders (the `repro serve` daemon) use this to run
+    /// GC passes against the same cache the executor reads and writes.
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Number of measurements currently memoized in memory. A long-lived
+    /// engine (one per daemon process rather than one per invocation)
+    /// accumulates entries across requests; this is the warm-cache size a
+    /// health endpoint reports.
+    pub fn memo_entries(&self) -> usize {
+        self.memo.lock().expect("memo lock").len()
     }
 
     /// Registers a progress callback, invoked once per unique job as it
@@ -189,8 +221,9 @@ impl Engine {
 
     /// The worker count the engine would use for `pending` runnable jobs.
     pub fn worker_count(&self, pending: usize) -> usize {
-        let configured = self
-            .jobs
+        let pinned = self.jobs.load(Ordering::Relaxed);
+        let configured = (pinned > 0)
+            .then_some(pinned)
             .or_else(|| {
                 std::env::var("HORIZON_JOBS")
                     .ok()

@@ -201,6 +201,19 @@ impl Recorder {
         state.histograms.entry(name).or_default().record(value);
     }
 
+    /// Current value of one named counter (0 when never touched) without
+    /// paying for a full [`Recorder::snapshot`] clone — cheap enough to
+    /// call per request on a serving path.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .expect("telemetry state")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// A consistent copy of everything recorded so far.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let state = self.state.lock().expect("telemetry state");
@@ -216,6 +229,15 @@ impl Recorder {
     /// Clears all recorded data (spans, counters, histograms).
     pub fn reset(&self) {
         *self.state.lock().expect("telemetry state") = State::default();
+    }
+
+    /// Renders the live state in Prometheus text exposition format — a
+    /// snapshot taken and serialized in one call, for scrape-style readers
+    /// such as the `repro serve` `/metrics` endpoint.
+    pub fn prometheus_text(&self) -> String {
+        let mut buf = Vec::new();
+        crate::write_prometheus(&self.snapshot(), &mut buf).expect("writing to memory");
+        String::from_utf8(buf).expect("exposition text is UTF-8")
     }
 
     fn close_span(&self, span: &mut ActiveSpan) {
@@ -400,6 +422,17 @@ mod tests {
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_renders_live_state() {
+        let r = Arc::new(Recorder::new());
+        r.counter_add("serve.requests", 3);
+        let first = r.prometheus_text();
+        assert!(first.contains("horizon_serve_requests 3"), "{first}");
+        r.counter_add("serve.requests", 1);
+        let second = r.prometheus_text();
+        assert!(second.contains("horizon_serve_requests 4"), "{second}");
     }
 
     #[test]
