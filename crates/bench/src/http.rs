@@ -1,12 +1,15 @@
 //! Minimal std-only HTTP/1.1 layer for the `repro serve` daemon.
 //!
-//! Deliberately tiny and defensive rather than general: one request per
-//! connection (`Connection: close`), no keep-alive, no chunked transfer
-//! encoding, hard caps on request-line length, header block size, header
-//! count and body size. Every malformed input maps to a 4xx/5xx
-//! [`HttpError`] — never a panic — so a hostile client cannot take the
-//! daemon down. The server half ([`crate::serve`]) owns routing; this
-//! module owns wire parsing and response formatting.
+//! Deliberately tiny and defensive rather than general: HTTP/1.1
+//! keep-alive with explicit `Content-Length` framing (the `Connection`
+//! request header and version defaults are honored; the server side
+//! additionally caps requests per connection and applies an idle
+//! timeout), no chunked transfer encoding, hard caps on request-line
+//! length, header block size, header count and body size. Every
+//! malformed input maps to a 4xx/5xx [`HttpError`] — never a panic — so
+//! a hostile client cannot take the daemon down. The server half
+//! ([`crate::serve`]) owns routing and connection lifetime; this module
+//! owns wire parsing and response formatting.
 
 use std::io::{self, BufRead, Write};
 
@@ -49,6 +52,11 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` was given).
     pub body: Vec<u8>,
+    /// Whether the client asked to reuse the connection: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close`, HTTP/1.0
+    /// defaults to close unless `Connection: keep-alive`. The server may
+    /// still close earlier (request cap, idle timeout, errors).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -87,6 +95,20 @@ impl HttpError {
             status,
             message: message.into(),
         }
+    }
+}
+
+impl HttpError {
+    /// True when the failure just means the peer finished with a
+    /// kept-alive connection instead of sending another request: a clean
+    /// close, or silence past the idle timeout, while waiting for the
+    /// next request line. The server should close quietly rather than
+    /// answer. Mid-request failures (truncated headers or bodies) are
+    /// *not* idle disconnects and still deserve their 4xx.
+    pub fn is_idle_disconnect(&self) -> bool {
+        self.message.contains("reading request line")
+            && (self.status == 408
+                || (self.status == 400 && self.message.starts_with("connection closed")))
     }
 }
 
@@ -246,11 +268,28 @@ pub fn read_request(reader: &mut impl BufRead, limits: &Limits) -> Result<Reques
         })?;
     }
 
+    // RFC 9112 connection semantics: the `Connection` header is a
+    // comma-separated token list; 1.1 keeps alive unless told to close,
+    // 1.0 closes unless told to keep alive.
+    let connection_token = |token: &str| {
+        headers
+            .iter()
+            .filter(|(n, _)| n == "connection")
+            .flat_map(|(_, v)| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case(token))
+    };
+    let keep_alive = if version == "HTTP/1.1" {
+        !connection_token("close")
+    } else {
+        connection_token("keep-alive")
+    };
+
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
         body,
+        keep_alive,
     })
 }
 
@@ -275,8 +314,10 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// An outgoing response. Always `Connection: close` with an explicit
-/// `Content-Length`, so clients can read to EOF.
+/// An outgoing response. Always carries an explicit `Content-Length` and
+/// a `Connection` header stating whether the server will keep the
+/// connection open ([`Response::write_to`]'s `keep_alive` flag), so
+/// clients can frame the body either way.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -324,19 +365,22 @@ impl Response {
         self
     }
 
-    /// Serializes the response to the wire.
+    /// Serializes the response to the wire. `keep_alive` selects the
+    /// `Connection` header: `keep-alive` promises the server will read
+    /// another request afterwards, `close` that it will hang up.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from `out` (typically a hung-up client).
-    pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
+    pub fn write_to(&self, out: &mut impl Write, keep_alive: bool) -> io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         for (name, value) in &self.extra_headers {
             write!(out, "{name}: {value}\r\n")?;
@@ -482,7 +526,7 @@ mod tests {
         let mut buf = Vec::new();
         Response::json(200, "{\"ok\":true}".to_string())
             .with_header("Retry-After", "1")
-            .write_to(&mut buf)
+            .write_to(&mut buf, false)
             .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
@@ -491,6 +535,48 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_advertises_keep_alive_when_asked() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}".to_string())
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        // HTTP/1.1 defaults to keep-alive…
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        // …unless the client says close (any casing, token lists too).
+        for close in [
+            "GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+            "GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n",
+            "GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n",
+        ] {
+            assert!(!parse(close.as_bytes()).unwrap().keep_alive, "{close:?}");
+        }
+        // HTTP/1.0 defaults to close unless keep-alive is requested.
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn idle_disconnect_classification() {
+        assert!(parse(b"").unwrap_err().is_idle_disconnect());
+        // Mid-request failures are real errors, not idle closes.
+        assert!(!parse(b"GET / HTTP/1.1\r\nHost").unwrap_err().is_idle_disconnect());
+        assert!(!parse(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nab")
+            .unwrap_err()
+            .is_idle_disconnect());
     }
 
     #[test]

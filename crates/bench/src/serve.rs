@@ -23,6 +23,10 @@
 //!
 //! # Robustness
 //!
+//! * **Keep-alive, bounded** — connections are reused per HTTP/1.1
+//!   semantics (`Connection: close` honored, HTTP/1.0 opt-in), but each
+//!   is bounded by `max_requests_per_connection` and an `idle_timeout`
+//!   between requests, so no client can pin a worker forever.
 //! * **Bounded worker pool** — `workers` threads consume accepted
 //!   connections from a queue capped at `queue_cap`; past the cap the
 //!   accept loop answers `503` with `Retry-After` *inline*, so saturation
@@ -71,6 +75,13 @@ pub struct ServeOptions {
     pub request_timeout: Duration,
     /// Socket read/write timeout for request parsing and response writes.
     pub io_timeout: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served over one connection before the server closes it
+    /// (the last response says `Connection: close`); bounds how long a
+    /// single client can monopolize a worker.
+    pub max_requests_per_connection: usize,
     /// How long shutdown waits for detached (timed-out) runs to finish.
     pub drain_timeout: Duration,
     /// Request parsing limits.
@@ -88,6 +99,8 @@ impl Default for ServeOptions {
             queue_cap: 64,
             request_timeout: Duration::from_secs(600),
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 100,
             drain_timeout: Duration::from_secs(30),
             limits: Limits::default(),
         }
@@ -352,37 +365,70 @@ impl Server {
     }
 }
 
-/// Serves one connection: parse, route, respond, record telemetry.
+/// Serves one connection: parse, route, respond — repeatedly, while the
+/// client keeps the connection alive — recording telemetry per request.
+/// The loop ends when the client asks to close (or is HTTP/1.0), the
+/// per-connection request cap is reached, an error is answered, the idle
+/// timeout expires between requests, or a response write fails.
 fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) {
-    let started = Instant::now();
     let rec = &state.recorder;
-    rec.counter_add("serve.requests", 1);
-    let _ = stream.set_read_timeout(Some(state.opts.io_timeout));
     let _ = stream.set_write_timeout(Some(state.opts.io_timeout));
     let mut reader = BufReader::new(stream);
+    let cap = state.opts.max_requests_per_connection.max(1);
+    let mut served = 0usize;
 
-    let mut span = rec.span("serve.request");
-    let response = match read_request(&mut reader, &state.opts.limits) {
-        Ok(request) => {
-            span.record("method", request.method.as_str());
-            span.record("path", request.path.as_str());
-            route(state, &request)
+    while served < cap {
+        // The first request gets the normal I/O timeout; once kept alive,
+        // the connection may wait only the idle timeout for the next one.
+        let wait = if served == 0 {
+            state.opts.io_timeout
+        } else {
+            state.opts.idle_timeout
+        };
+        let _ = reader.get_ref().set_read_timeout(Some(wait));
+        let started = Instant::now();
+        let parsed = read_request(&mut reader, &state.opts.limits);
+        if let Err(e) = &parsed {
+            if served > 0 && e.is_idle_disconnect() {
+                // The client finished with the connection; nothing to
+                // answer and nothing abnormal to count.
+                break;
+            }
         }
-        Err(e) => {
-            rec.counter_add("serve.bad_requests", 1);
-            span.record("path", "<unparsed>");
-            Response::error(e.status, &e.message)
+        rec.counter_add("serve.requests", 1);
+        if served > 0 {
+            rec.counter_add("serve.keepalive_reuses", 1);
         }
-    };
-    span.record("status", u64::from(response.status));
-    match response.status / 100 {
-        2 => rec.counter_add("serve.http_2xx", 1),
-        4 => rec.counter_add("serve.http_4xx", 1),
-        _ => rec.counter_add("serve.http_5xx", 1),
-    }
-    rec.histogram_record("serve.request_wall_ns", started.elapsed().as_nanos() as u64);
-    if response.write_to(reader.get_mut()).is_err() {
-        rec.counter_add("serve.write_failures", 1);
+        let mut span = rec.span("serve.request");
+        let (response, keep) = match parsed {
+            Ok(request) => {
+                span.record("method", request.method.as_str());
+                span.record("path", request.path.as_str());
+                let keep = request.keep_alive && served + 1 < cap;
+                (route(state, &request), keep)
+            }
+            Err(e) => {
+                rec.counter_add("serve.bad_requests", 1);
+                span.record("path", "<unparsed>");
+                // A connection that produced garbage is not worth reusing.
+                (Response::error(e.status, &e.message), false)
+            }
+        };
+        span.record("status", u64::from(response.status));
+        match response.status / 100 {
+            2 => rec.counter_add("serve.http_2xx", 1),
+            4 => rec.counter_add("serve.http_4xx", 1),
+            _ => rec.counter_add("serve.http_5xx", 1),
+        }
+        rec.histogram_record("serve.request_wall_ns", started.elapsed().as_nanos() as u64);
+        if response.write_to(reader.get_mut(), keep).is_err() {
+            rec.counter_add("serve.write_failures", 1);
+            break;
+        }
+        if !keep {
+            break;
+        }
+        served += 1;
     }
 }
 
@@ -393,7 +439,7 @@ fn reject_saturated(state: &ServerState, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let _ = Response::error(503, "request queue is full")
         .with_header("Retry-After", "1")
-        .write_to(&mut stream);
+        .write_to(&mut stream, false);
     // Drain whatever request bytes the client already sent before closing.
     // Closing with unread input makes the kernel answer with RST, which can
     // discard the 503 before the client reads it.
@@ -732,16 +778,21 @@ mod tests {
         Pool::new(workers, cap, |job: Job| job())
     }
 
-    fn test_server(workers: usize, queue_cap: usize) -> Server {
-        let opts = ServeOptions {
+    fn test_opts(workers: usize, queue_cap: usize) -> ServeOptions {
+        ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             workers,
             queue_cap,
             request_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_millis(500),
+            max_requests_per_connection: 16,
             drain_timeout: Duration::from_secs(5),
             limits: Limits::default(),
-        };
+        }
+    }
+
+    fn bind_server(opts: ServeOptions) -> Server {
         Server::bind(
             opts,
             Arc::new(Engine::new()),
@@ -751,12 +802,42 @@ mod tests {
         .expect("bind ephemeral")
     }
 
+    fn test_server(workers: usize, queue_cap: usize) -> Server {
+        bind_server(test_opts(workers, queue_cap))
+    }
+
     fn request(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw.as_bytes()).expect("send");
+        // Half-close: the server sees EOF when it looks for a follow-up
+        // request, so read_to_string below terminates without waiting out
+        // the keep-alive idle timeout.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         response
+    }
+
+    /// Reads exactly one `Content-Length`-framed response, leaving the
+    /// connection open for the next one.
+    fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            stream.read_exact(&mut byte).expect("response header byte");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).expect("utf8 response head");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length header")
+            .trim()
+            .parse()
+            .expect("content-length value");
+        let mut body = vec![0u8; length];
+        stream.read_exact(&mut body).expect("response body");
+        head + &String::from_utf8(body).expect("utf8 response body")
     }
 
     #[test]
@@ -869,6 +950,91 @@ mod tests {
             "daemon should recover after saturation, got: {response}"
         );
         assert!(recorder.counter_value("serve.saturated") >= 1);
+
+        shutdown.store(true, Ordering::SeqCst);
+        serving.join().expect("serve thread").expect("clean exit");
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = test_server(2, 8);
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let recorder = Arc::clone(&server.state.recorder);
+        let serving = std::thread::spawn(move || server.run());
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send first");
+        let first = read_one_response(&mut stream);
+        assert!(first.starts_with("HTTP/1.1 200 "), "{first}");
+        assert!(first.contains("Connection: keep-alive\r\n"), "{first}");
+
+        // Second request over the SAME connection; `Connection: close`
+        // must be honored with a close header and then EOF.
+        stream
+            .write_all(b"GET /experiments HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .expect("send second");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).expect("read to close");
+        assert!(rest.starts_with("HTTP/1.1 200 "), "{rest}");
+        assert!(rest.contains("Connection: close\r\n"), "{rest}");
+        assert!(rest.contains("\"id\":\"table1\""), "{rest}");
+        assert_eq!(recorder.counter_value("serve.keepalive_reuses"), 1);
+
+        shutdown.store(true, Ordering::SeqCst);
+        serving.join().expect("serve thread").expect("clean exit");
+    }
+
+    #[test]
+    fn request_cap_closes_the_connection() {
+        let mut opts = test_opts(2, 8);
+        opts.max_requests_per_connection = 2;
+        let server = bind_server(opts);
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let serving = std::thread::spawn(move || server.run());
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let probe = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        stream.write_all(probe).expect("send first");
+        let first = read_one_response(&mut stream);
+        assert!(first.contains("Connection: keep-alive\r\n"), "{first}");
+
+        // The second request hits the cap: the server answers it but
+        // announces (and performs) the close.
+        stream.write_all(probe).expect("send second");
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).expect("read to close");
+        assert!(rest.starts_with("HTTP/1.1 200 "), "{rest}");
+        assert!(rest.contains("Connection: close\r\n"), "{rest}");
+
+        shutdown.store(true, Ordering::SeqCst);
+        serving.join().expect("serve thread").expect("clean exit");
+    }
+
+    #[test]
+    fn idle_keep_alive_connection_is_closed_quietly() {
+        let server = test_server(2, 8);
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let recorder = Arc::clone(&server.state.recorder);
+        let serving = std::thread::spawn(move || server.run());
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send");
+        let first = read_one_response(&mut stream);
+        assert!(first.starts_with("HTTP/1.1 200 "), "{first}");
+
+        // Send nothing more: past the idle timeout the server closes
+        // without emitting a response or counting a bad request.
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).expect("read to close");
+        assert_eq!(rest, "", "idle close must not write anything");
+        assert_eq!(recorder.counter_value("serve.bad_requests"), 0);
 
         shutdown.store(true, Ordering::SeqCst);
         serving.join().expect("serve thread").expect("clean exit");

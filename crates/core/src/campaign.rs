@@ -5,7 +5,7 @@
 //! paper's perf-counter experiments on seven physical systems.
 
 use horizon_trace::WorkloadProfile;
-use horizon_uarch::{CoreSimulator, Counters, MachineConfig, PowerModel, PowerReport};
+use horizon_uarch::{CoreSimulator, Counters, FleetSimulator, MachineConfig, PowerModel, PowerReport};
 use horizon_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, RwLock};
@@ -108,10 +108,13 @@ impl Campaign {
         self.measure_profiles_builtin(profiles, machines)
     }
 
-    /// The builtin backend: simulates every grid cell, fanning workload
-    /// rows out across threads. Bypasses any installed executor (executors
-    /// use [`Campaign::measure_one`] instead, so there is no recursion
-    /// hazard either way).
+    /// The builtin backend: simulates the grid one workload row at a time
+    /// through the fused fleet kernel — each row expands its trace once and
+    /// steps every machine per instruction (see
+    /// [`horizon_uarch::FleetSimulator`]) — fanning rows out across
+    /// threads. Bypasses any installed executor (executors use
+    /// [`Campaign::measure_one`] / [`Campaign::measure_fleet`] instead, so
+    /// there is no recursion hazard either way).
     pub fn measure_profiles_builtin(
         &self,
         profiles: &[WorkloadProfile],
@@ -129,7 +132,7 @@ impl Campaign {
         let mut rows: Vec<Vec<Measurement>> = Vec::with_capacity(profiles.len());
         if threads <= 1 || profiles.len() <= 1 {
             for p in profiles {
-                rows.push(self.measure_row(p, machines));
+                rows.push(self.measure_fleet(p, machines));
             }
         } else {
             let chunk = profiles.len().div_ceil(threads);
@@ -138,7 +141,7 @@ impl Campaign {
                     .chunks(chunk)
                     .map(|ps| {
                         scope.spawn(move || {
-                            ps.iter().map(|p| self.measure_row(p, machines)).collect()
+                            ps.iter().map(|p| self.measure_fleet(p, machines)).collect()
                         })
                     })
                     .collect();
@@ -159,14 +162,26 @@ impl Campaign {
         }
     }
 
-    fn measure_row(
+    /// Simulates one workload on a whole fleet of machines from a single
+    /// trace expansion — bit-identical to calling
+    /// [`Campaign::measure_one`] once per machine, but the trace streams
+    /// once and structures shared between machine configurations are
+    /// simulated once (see [`horizon_uarch::FleetSimulator`]).
+    pub fn measure_fleet(
         &self,
         profile: &WorkloadProfile,
         machines: &[MachineConfig],
     ) -> Vec<Measurement> {
-        machines
-            .iter()
-            .map(|m| self.measure_one(profile, m))
+        let fleet = FleetSimulator::new(machines)
+            .with_warmup(self.warmup)
+            .run(profile, self.instructions, self.seed);
+        fleet
+            .into_iter()
+            .zip(machines)
+            .map(|(counters, machine)| {
+                let power = PowerModel::for_machine(machine).estimate(&counters, machine);
+                Measurement { counters, power }
+            })
             .collect()
     }
 

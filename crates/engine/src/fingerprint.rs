@@ -36,6 +36,24 @@ impl Fingerprint {
         Fingerprint(fnv1a_128_hex(canonical.as_bytes()))
     }
 
+    /// Fingerprints the trace-defining inputs of a job — the campaign
+    /// window and the workload profile, *without* the machine. Two jobs
+    /// sharing this fingerprint expand the identical instruction stream,
+    /// so the engine can simulate their machines together as one fleet
+    /// batch (see `horizon_uarch::FleetSimulator`) without changing any
+    /// result.
+    pub fn of_profile(campaign: &Campaign, profile: &WorkloadProfile) -> Self {
+        let key = Value::Map(vec![
+            ("schema".to_string(), SCHEMA_VERSION.to_value()),
+            ("instructions".to_string(), campaign.instructions.to_value()),
+            ("warmup".to_string(), campaign.warmup.to_value()),
+            ("seed".to_string(), campaign.seed.to_value()),
+            ("profile".to_string(), profile.to_value()),
+        ]);
+        let canonical = serde_json::to_string(&key).expect("canonical key serializes");
+        Fingerprint(fnv1a_128_hex(canonical.as_bytes()))
+    }
+
     /// The hex digest.
     pub fn as_str(&self) -> &str {
         &self.0

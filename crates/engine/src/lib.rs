@@ -321,64 +321,119 @@ impl Engine {
         }
         drop(probe_span);
 
-        // Phase 3: simulate the misses on the work-stealing pool. Workers
-        // claim jobs through an atomic cursor over the flat miss list;
-        // results land in per-job slots, so ordering never matters for the
-        // output. The list is sorted largest-estimated-cost-first (LPT) so
-        // the longest job starts earliest and cannot become a lone tail;
-        // ties break by job id to keep the order deterministic.
+        // Phase 3: simulate the misses on the work-stealing pool, grouped
+        // into fleet batches. Jobs whose trace-defining inputs match —
+        // same profile content, window, warmup and seed
+        // ([`Fingerprint::of_profile`]) — replay the identical instruction
+        // stream, so one `Campaign::measure_fleet` call simulates all
+        // their machines in a single streaming pass, bit-identical to
+        // per-job simulation. Workers claim whole batches through an
+        // atomic cursor; per-job results land in per-job slots, so
+        // ordering never matters for the output. Batches are sorted
+        // largest-estimated-cost-first (LPT) so the longest batch starts
+        // earliest and cannot become a lone tail; ties break by first job
+        // id to keep the order deterministic. Batch composition depends
+        // only on the miss set, never on the worker count, so traces stay
+        // structurally identical across `--jobs` settings.
         let profile_cost: Vec<u64> = profiles
             .iter()
             .map(|p| estimated_cost(campaign, p))
             .collect();
-        let mut misses: Vec<usize> = (0..jobs.len())
-            .filter(|&id| resolved[id].is_none())
-            .collect();
-        misses.sort_by(|&a, &b| {
-            profile_cost[jobs[b].0]
-                .cmp(&profile_cost[jobs[a].0])
-                .then(a.cmp(&b))
+        let mut batch_index: HashMap<Fingerprint, usize> = HashMap::new();
+        // Per batch: (workload index of the first job, member job ids).
+        let mut batches: Vec<(usize, Vec<usize>)> = Vec::new();
+        for id in (0..jobs.len()).filter(|&id| resolved[id].is_none()) {
+            let w = jobs[id].0;
+            match batch_index.entry(Fingerprint::of_profile(campaign, &profiles[w])) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    batches[*e.get()].1.push(id);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(batches.len());
+                    batches.push((w, vec![id]));
+                }
+            }
+        }
+        batches.sort_by(|a, b| {
+            profile_cost[b.0]
+                .cmp(&profile_cost[a.0])
+                .then(a.1[0].cmp(&b.1[0]))
         });
-        let workers = if misses.is_empty() {
+        // Flat batch-major job list: slot i holds the result for job
+        // `misses[i]`, and batch `b` owns the contiguous slot range
+        // starting at `batch_start[b]`.
+        let misses: Vec<usize> = batches
+            .iter()
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        let batch_start: Vec<usize> = batches
+            .iter()
+            .scan(0usize, |acc, (_, ids)| {
+                let start = *acc;
+                *acc += ids.len();
+                Some(start)
+            })
+            .collect();
+        let workers = if batches.is_empty() {
             0
         } else {
-            self.worker_count(misses.len())
+            self.worker_count(batches.len())
         };
         let slots: Vec<OnceLock<(Measurement, u64)>> =
             misses.iter().map(|_| OnceLock::new()).collect();
-        if !misses.is_empty() {
+        if !batches.is_empty() {
             let simulate_span = rec.span("engine.simulate");
             let cursor = AtomicUsize::new(0);
             let pool_start = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                        if slot >= misses.len() {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= batches.len() {
                             break;
                         }
-                        rec.histogram_record(
-                            "engine.queue_wait_ns",
-                            pool_start.elapsed().as_nanos() as u64,
-                        );
-                        let (w, m) = jobs[misses[slot]];
-                        let mut job_span = rec.span("engine.job");
-                        job_span.set_parent(campaign_id);
-                        job_span.record("workload", profiles[w].name());
-                        job_span.record("machine", machines[m].name.as_str());
-                        job_span.record("outcome", "simulated");
-                        job_span.record("instructions", campaign.instructions + campaign.warmup);
-                        job_span.record("est_cost", profile_cost[w]);
+                        let queue_wait = pool_start.elapsed().as_nanos() as u64;
+                        let (w, ids) = &batches[b];
+                        let batch_machines: Vec<MachineConfig> = ids
+                            .iter()
+                            .map(|&id| machines[jobs[id].1].clone())
+                            .collect();
                         let job_start = Instant::now();
-                        let measurement = campaign.measure_one(&profiles[w], &machines[m]);
-                        let wall_nanos = job_start.elapsed().as_nanos() as u64;
-                        job_span.record("wall_ns", wall_nanos);
-                        drop(job_span);
-                        rec.histogram_record("engine.job_wall_ns", wall_nanos);
-                        slots[slot]
-                            .set((measurement, wall_nanos))
-                            .expect("each slot is claimed once");
-                        self.emit_progress(&completed, total, &profiles[w], &machines[m], false);
+                        let measurements = campaign.measure_fleet(&profiles[*w], &batch_machines);
+                        let wall = job_start.elapsed().as_nanos() as u64;
+                        // Attribute the batch's wall clock across its jobs
+                        // so per-job accounting sums exactly to the batch.
+                        let n = ids.len() as u64;
+                        let (share, extra) = (wall / n, wall % n);
+                        for (k, (&id, measurement)) in
+                            ids.iter().zip(measurements).enumerate()
+                        {
+                            let (jw, jm) = jobs[id];
+                            let wall_nanos = share + u64::from((k as u64) < extra);
+                            rec.histogram_record("engine.queue_wait_ns", queue_wait);
+                            let mut job_span = rec.span("engine.job");
+                            job_span.set_parent(campaign_id);
+                            job_span.record("workload", profiles[jw].name());
+                            job_span.record("machine", machines[jm].name.as_str());
+                            job_span.record("outcome", "simulated");
+                            job_span
+                                .record("instructions", campaign.instructions + campaign.warmup);
+                            job_span.record("est_cost", profile_cost[jw]);
+                            job_span.record("fleet", ids.len());
+                            job_span.record("wall_ns", wall_nanos);
+                            drop(job_span);
+                            rec.histogram_record("engine.job_wall_ns", wall_nanos);
+                            slots[batch_start[b] + k]
+                                .set((measurement, wall_nanos))
+                                .expect("each slot is claimed once");
+                            self.emit_progress(
+                                &completed,
+                                total,
+                                &profiles[jw],
+                                &machines[jm],
+                                false,
+                            );
+                        }
                     });
                 }
             });
@@ -406,6 +461,7 @@ impl Engine {
         rec.counter_add("engine.cells", (profiles.len() * machines.len()) as u64);
         rec.counter_add("engine.unique_jobs", jobs.len() as u64);
         rec.counter_add("engine.simulated_jobs", misses.len() as u64);
+        rec.counter_add("engine.fleet_batches", batches.len() as u64);
         rec.counter_add("engine.memo_hits", memo_hits);
         rec.counter_add("engine.disk_hits", disk_hits);
         rec.counter_add(

@@ -34,6 +34,10 @@ pub struct EngineStats {
     pub unique_jobs: u64,
     /// Jobs actually simulated (memo/disk misses).
     pub simulated_jobs: u64,
+    /// Fleet batches the simulated jobs were grouped into: jobs sharing a
+    /// trace fingerprint (profile, window, warmup, seed) stream the trace
+    /// once together, so this is at most `simulated_jobs`.
+    pub fleet_batches: u64,
     /// Jobs served from the in-memory memo table.
     pub memo_hits: u64,
     /// Jobs served from the on-disk cache.
@@ -74,6 +78,7 @@ impl EngineStats {
             cells: snapshot.counter("engine.cells"),
             unique_jobs: snapshot.counter("engine.unique_jobs"),
             simulated_jobs: snapshot.counter("engine.simulated_jobs"),
+            fleet_batches: snapshot.counter("engine.fleet_batches"),
             memo_hits: snapshot.counter("engine.memo_hits"),
             disk_hits: snapshot.counter("engine.disk_hits"),
             simulated_instructions: snapshot.counter("engine.simulated_instructions"),
@@ -125,8 +130,12 @@ impl EngineStats {
             self.campaigns, self.cells, self.unique_jobs
         ));
         out.push_str(&format!(
-            "  simulated:       {}\n  memo hits:       {}\n  disk hits:       {}\n",
-            self.simulated_jobs, self.memo_hits, self.disk_hits
+            "  simulated:       {} (in {} fleet batches)\n",
+            self.simulated_jobs, self.fleet_batches
+        ));
+        out.push_str(&format!(
+            "  memo hits:       {}\n  disk hits:       {}\n",
+            self.memo_hits, self.disk_hits
         ));
         out.push_str(&format!(
             "  hit rate:        {:.1}%\n",
@@ -176,6 +185,7 @@ mod tests {
             cells: 10,
             unique_jobs: 8,
             simulated_jobs: 2,
+            fleet_batches: 1,
             memo_hits: 5,
             disk_hits: 1,
             simulated_instructions: 2_000_000,
@@ -229,6 +239,7 @@ mod tests {
             cells: 4,
             unique_jobs: 4,
             simulated_jobs: 4,
+            fleet_batches: 4,
             memo_hits: 0,
             disk_hits: 0,
             simulated_instructions: 100,

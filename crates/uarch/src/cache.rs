@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::lru::LruSets;
+
 /// Geometry of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -47,15 +49,12 @@ impl CacheConfig {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// sets × ways tag array; `u64::MAX` marks an invalid way.
-    tags: Vec<u64>,
-    /// Per-way LRU stamps (higher = more recently used).
-    stamps: Vec<u64>,
-    clock: u64,
+    /// Tag/stamp storage with true-LRU replacement and a hot-line memo;
+    /// keys are line indices (`addr >> line_shift`).
+    lines: LruSets,
     accesses: u64,
     misses: u64,
     line_shift: u32,
-    set_mask: u64,
 }
 
 impl Cache {
@@ -79,16 +78,12 @@ impl Cache {
             config.line_bytes,
             config.associativity
         );
-        let ways = config.associativity as usize;
         Cache {
             config,
-            tags: vec![u64::MAX; sets as usize * ways],
-            stamps: vec![0; sets as usize * ways],
-            clock: 0,
+            lines: LruSets::new(sets, config.associativity),
             accesses: 0,
             misses: 0,
             line_shift: config.line_bytes.trailing_zeros(),
-            set_mask: sets - 1,
         }
     }
 
@@ -100,44 +95,25 @@ impl Cache {
     /// Accesses the line containing `addr`; returns `true` on hit.
     /// On miss, the line is installed (allocate-on-miss for both reads and
     /// writes — the counter study doesn't distinguish write policies).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        self.clock += 1;
         self.accesses += 1;
-        let line = addr >> self.line_shift;
-        let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let ways = self.config.associativity as usize;
-        let base = set * ways;
-
-        // Hit path.
-        for w in 0..ways {
-            if self.tags[base + w] == tag {
-                self.stamps[base + w] = self.clock;
-                return true;
-            }
-        }
-        // Miss: install in the LRU way.
-        self.misses += 1;
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..ways {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
-            if self.stamps[base + w] < oldest {
-                oldest = self.stamps[base + w];
-                victim = w;
-            }
-        }
-        self.tags[base + victim] = tag;
-        self.stamps[base + victim] = self.clock;
-        false
+        let hit = self.lines.touch(addr >> self.line_shift);
+        self.misses += !hit as u64;
+        hit
     }
 
     /// Total accesses so far.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Credits `n` batched hits: accesses known to repeat the immediately
+    /// preceding access's line (hence resident and already MRU), counted
+    /// without replaying the lookup. Used by the fleet kernel's
+    /// repeat-granule fast path.
+    pub(crate) fn credit_hits(&mut self, n: u64) {
+        self.accesses += n;
     }
 
     /// Total misses so far.
@@ -170,43 +146,14 @@ impl Cache {
     }
 
     fn install_with_priority(&mut self, addr: u64, mru: bool) {
-        self.clock += 1;
-        let line = addr >> self.line_shift;
-        let set = (line & self.set_mask) as usize;
-        let tag = line >> self.set_mask.count_ones();
-        let ways = self.config.associativity as usize;
-        let base = set * ways;
-        for w in 0..ways {
-            if self.tags[base + w] == tag {
-                if mru {
-                    self.stamps[base + w] = self.clock;
-                }
-                return;
-            }
-        }
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..ways {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
-            if self.stamps[base + w] < oldest {
-                oldest = self.stamps[base + w];
-                victim = w;
-            }
-        }
-        self.tags[base + victim] = tag;
-        // LRU-priority fills keep the victim's (oldest) stamp so they are
-        // evicted first; MRU fills take the newest stamp.
-        self.stamps[base + victim] = if mru { self.clock } else { 0 };
+        // LRU-priority fills take stamp 0 so they are the set's first
+        // victim; MRU fills take the newest stamp.
+        self.lines.fill(addr >> self.line_shift, mru);
     }
 
     /// Clears contents and counters.
     pub fn reset(&mut self) {
-        self.tags.fill(u64::MAX);
-        self.stamps.fill(0);
-        self.clock = 0;
+        self.lines.reset();
         self.accesses = 0;
         self.misses = 0;
     }

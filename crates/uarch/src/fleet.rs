@@ -1,0 +1,794 @@
+//! Trace-once simulation of one workload across a fleet of machines.
+//!
+//! The paper characterizes every workload on seven machines (Table I).
+//! The instruction trace for a (profile, seed) pair is machine-independent,
+//! so simulating the fleet as N independent [`CoreSimulator`] runs expands
+//! the same trace N times and pays the generator's cost N times. The
+//! [`FleetSimulator`] streams the trace **once** and fans each instruction
+//! out across every machine's microarchitectural state, producing counters
+//! bit-identical to the independent runs.
+//!
+//! Two observations make the fused kernel fast *and* exact:
+//!
+//! 1. **Structure purity.** Each machine's caches, TLBs and branch
+//!    predictor consume only the (pc, data address, branch outcome)
+//!    streams, which depend on (profile, seed) alone; structures of
+//!    different machines never interact. Stepping every structure with the
+//!    identical event in program order therefore visits exactly the states
+//!    of the independent simulation — and the per-instruction fan-out keeps
+//!    the structures' loop-carried update chains independent, so they
+//!    overlap in the host pipeline just as an inline simulation's do.
+//!
+//! 2. **Config-group deduplication.** A structure's entire evolution is a
+//!    deterministic function of (its configuration, its input stream). The
+//!    input streams of L1 structures are machine-independent, so machines
+//!    with an identical L1 front-end — the ([`CacheConfig`] of L1I/L1D
+//!    plus prefetcher) triple, an L1 TLB config, or a [`PredictorKind`] —
+//!    share **one** simulated instance and copy its counters. The shared
+//!    levels (L2/L3, L2 TLB) are still per machine, but they are driven
+//!    from the front-end's hit/miss/install outcomes and only do work on
+//!    the rare events that reach them. In the paper's Table IV fleet this
+//!    collapses 7 L1 cache front-ends to 4 and 7+7 L1 TLBs to 4+5, and
+//!    pays trace generation once instead of 7 times.
+//!
+//! Trace-side counters (instruction mix, taken branches, kernel
+//! instructions) are likewise accumulated once at generation time. The
+//! bit-identity is enforced by fixed-vector tests here and a property test
+//! in `tests/fleet_equivalence.rs`.
+//!
+//! [`CoreSimulator`]: crate::CoreSimulator
+//! [`CacheConfig`]: crate::CacheConfig
+//! [`PredictorKind`]: crate::PredictorKind
+
+use horizon_trace::{Instruction, Kind, TraceGenerator, WorkloadProfile};
+
+use crate::branch::{BranchPredictor, PredictorKind};
+use crate::cache::CacheConfig;
+use crate::counters::Counters;
+use crate::cache::Cache;
+use crate::hierarchy::{AccessKind, DataFront, HierarchyConfig, L2Back, PrefetchConfig};
+use crate::machine::MachineConfig;
+use crate::simulator::PREWARM_LIMIT;
+use crate::tlb::{Tlb, TlbConfig, TlbHierarchyConfig};
+use crate::topdown::CpiStack;
+
+/// Deduplicates `keys`, returning the unique keys (first-occurrence order)
+/// and, per input, the index of its unique key.
+fn dedup_groups<K: PartialEq>(keys: Vec<K>) -> (Vec<K>, Vec<usize>) {
+    let mut uniq: Vec<K> = Vec::new();
+    let mut index = Vec::with_capacity(keys.len());
+    for k in keys {
+        match uniq.iter().position(|u| *u == k) {
+            Some(i) => index.push(i),
+            None => {
+                uniq.push(k);
+                index.push(uniq.len() - 1);
+            }
+        }
+    }
+    (uniq, index)
+}
+
+/// Per-event outcome bits of one data-front group.
+const DATA_MISS: u8 = 1 << 1;
+const INSTALL: u8 = 1 << 2;
+
+/// One machine-distinct shared-level cache (distinct full
+/// [`HierarchyConfig`]), driven by its front groups' recorded outcomes.
+struct CacheBackLane {
+    back: L2Back,
+    l1i_group: usize,
+    data_group: usize,
+}
+
+/// One machine-distinct L2 TLB + page-walk accounting (distinct full
+/// [`TlbHierarchyConfig`]), driven by the per-side front lanes.
+struct TlbBackLane {
+    l2: Option<Tlb>,
+    walks_i: u64,
+    walks_d: u64,
+    itlb_group: usize,
+    dtlb_group: usize,
+}
+
+impl TlbBackLane {
+    /// Mirrors `TlbHierarchy::refill`: returns `true` when the refill
+    /// required a page walk.
+    #[inline]
+    fn refill(&mut self, addr: u64) -> bool {
+        match &mut self.l2 {
+            Some(l2) => !l2.access(addr),
+            None => true,
+        }
+    }
+}
+
+/// One shared branch predictor (distinct [`PredictorKind`]).
+struct PredictorLane {
+    predictor: Box<dyn BranchPredictor + Send>,
+    mispredicts: u64,
+}
+
+/// Machine-independent counters accumulated once while the trace streams.
+#[derive(Default)]
+struct TraceCounts {
+    instructions: u64,
+    kernel_instructions: u64,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    taken_branches: u64,
+    fp_ops: u64,
+    simd_ops: u64,
+}
+
+impl TraceCounts {
+    #[inline]
+    fn note(&mut self, inst: &Instruction) {
+        self.instructions += 1;
+        self.kernel_instructions += inst.kernel as u64;
+        match inst.kind {
+            Kind::Load { .. } => self.loads += 1,
+            Kind::Store { .. } => self.stores += 1,
+            Kind::Branch { taken, .. } => {
+                self.branches += 1;
+                self.taken_branches += taken as u64;
+            }
+            Kind::FpAlu => self.fp_ops += 1,
+            Kind::Simd => self.simd_ops += 1,
+            Kind::IntAlu => {}
+        }
+    }
+}
+
+/// Warm-state counter snapshot of every group, taken after warmup so the
+/// measured window can be isolated by subtraction (same bookkeeping as
+/// `CoreSimulator::run`, per group instead of per machine).
+struct GroupSnapshots {
+    /// Per L1I group: (accesses, misses).
+    l1is: Vec<(u64, u64)>,
+    /// Per data-front group: (l1d_accesses, l1d_misses).
+    datas: Vec<(u64, u64)>,
+    /// Per cache back lane: (l2i_acc, l2i_miss, l2d_acc, l2d_miss, l3_acc,
+    /// l3_miss, mem).
+    cache_backs: Vec<(u64, u64, u64, u64, u64, u64, u64)>,
+    /// Per I-TLB front group: misses.
+    itlbs: Vec<u64>,
+    /// Per D-TLB front group: misses.
+    dtlbs: Vec<u64>,
+    /// Per TLB back lane: (walks_i, walks_d).
+    tlb_backs: Vec<(u64, u64)>,
+}
+
+/// Simulates one workload on many machines from a single trace expansion.
+///
+/// Counters are bit-identical to running [`crate::CoreSimulator`] once per
+/// machine with the same warmup/window/seed; trace generation, prewarm
+/// address walks, instruction-mix accounting, and every structure shared
+/// between machine configurations are paid once per fleet instead of once
+/// per machine.
+///
+/// # Example
+///
+/// ```
+/// use horizon_trace::WorkloadProfile;
+/// use horizon_uarch::{CoreSimulator, FleetSimulator, MachineConfig};
+///
+/// let p = WorkloadProfile::builder("w").loads(0.25).build()?;
+/// let machines = [MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()];
+/// let fleet = FleetSimulator::new(&machines).run(&p, 20_000, 7);
+/// let solo = CoreSimulator::new(&machines[1]).run(&p, 20_000, 7);
+/// assert_eq!(fleet[1], solo);
+/// # Ok::<(), horizon_trace::ProfileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSimulator {
+    machines: Vec<MachineConfig>,
+    /// Instructions to run before counters start (cold-start warmup).
+    warmup: u64,
+}
+
+impl FleetSimulator {
+    /// Creates a fleet simulator with no warmup, like
+    /// [`crate::CoreSimulator::new`].
+    pub fn new(machines: &[MachineConfig]) -> Self {
+        FleetSimulator {
+            machines: machines.to_vec(),
+            warmup: 0,
+        }
+    }
+
+    /// Sets the warmup instruction count applied to every machine.
+    pub fn with_warmup(mut self, instructions: u64) -> Self {
+        self.warmup = instructions;
+        self
+    }
+
+    /// The machines this fleet models, in result order.
+    pub fn machines(&self) -> &[MachineConfig] {
+        &self.machines
+    }
+
+    /// Runs `instructions` measured instructions of `profile` (after any
+    /// warmup) on every machine and returns one [`Counters`] per machine,
+    /// in [`FleetSimulator::machines`] order.
+    pub fn run(&self, profile: &WorkloadProfile, instructions: u64, seed: u64) -> Vec<Counters> {
+        if self.machines.is_empty() {
+            return Vec::new();
+        }
+        let mut fleet = FleetState::new(&self.machines);
+
+        if self.warmup > 0 {
+            let _prewarm_span = horizon_telemetry::span("sim.prewarm");
+            fleet.prewarm(profile);
+        }
+
+        let mut gen = TraceGenerator::new(profile, seed);
+        {
+            let mut warmup_span = horizon_telemetry::span("sim.warmup");
+            warmup_span.record("instructions", self.warmup);
+            for inst in gen.by_ref().take(self.warmup as usize) {
+                fleet.step(&inst, false);
+            }
+        }
+        fleet.flush_repeats();
+        let warm = fleet.snapshots();
+
+        let mut trace = TraceCounts::default();
+        {
+            let mut measure_span = horizon_telemetry::span("sim.measure");
+            measure_span.record("instructions", instructions);
+            for inst in gen.by_ref().take(instructions as usize) {
+                trace.note(&inst);
+                fleet.step(&inst, true);
+            }
+        }
+
+        fleet.flush_repeats();
+        fleet.assemble(&self.machines, profile, &trace, &warm)
+    }
+}
+
+/// All shared group lanes plus the machine → group index maps.
+struct FleetState {
+    l1i_lanes: Vec<Cache>,
+    data_lanes: Vec<DataFront>,
+    cache_backs: Vec<CacheBackLane>,
+    itlbs: Vec<Tlb>,
+    dtlbs: Vec<Tlb>,
+    tlb_backs: Vec<TlbBackLane>,
+    predictors: Vec<PredictorLane>,
+    /// Per-event scratch, one slot per group.
+    fetch_miss: Vec<bool>,
+    /// Data-front outcome flags and the pending shared-level install line.
+    data_out: Vec<(u8, u64)>,
+    itlb_miss: Vec<bool>,
+    dtlb_miss: Vec<bool>,
+    // Repeat-granule fast path: when the current probe address falls in the
+    // same line/page as the immediately preceding probe of the same
+    // structure set, that line is resident and already MRU in *every* group
+    // (the preceding probe made it so, and nothing touched these structures
+    // since), so the probe is a guaranteed hit that neither moves LRU order
+    // nor can change any later victim choice. The fleet skips the whole
+    // group loop and credits the hits in bulk at snapshot boundaries. The
+    // granule is the finest across groups, so equality holds per group.
+    last_fetch_line: u64,
+    last_fetch_page: u64,
+    last_data_page: u64,
+    l1i_repeats: u64,
+    itlb_repeats: u64,
+    dtlb_repeats: u64,
+    l1i_min_shift: u32,
+    itlb_min_shift: u32,
+    dtlb_min_shift: u32,
+    /// Per machine: index into each group vector.
+    l1i_of: Vec<usize>,
+    data_of: Vec<usize>,
+    cache_back_of: Vec<usize>,
+    itlb_of: Vec<usize>,
+    dtlb_of: Vec<usize>,
+    tlb_back_of: Vec<usize>,
+    predictor_of: Vec<usize>,
+}
+
+impl FleetState {
+    fn new(machines: &[MachineConfig]) -> Self {
+        type DataKey = (CacheConfig, PrefetchConfig);
+        let data_key = |h: &HierarchyConfig| -> DataKey { (h.l1d, h.prefetch) };
+
+        let (l1i_keys, l1i_of) =
+            dedup_groups::<CacheConfig>(machines.iter().map(|m| m.hierarchy.l1i).collect());
+        let (data_keys, data_of) =
+            dedup_groups(machines.iter().map(|m| data_key(&m.hierarchy)).collect());
+        let (back_keys, cache_back_of) =
+            dedup_groups::<HierarchyConfig>(machines.iter().map(|m| m.hierarchy).collect());
+        let (itlb_keys, itlb_of) =
+            dedup_groups::<TlbConfig>(machines.iter().map(|m| m.tlb.l1i).collect());
+        let (dtlb_keys, dtlb_of) =
+            dedup_groups::<TlbConfig>(machines.iter().map(|m| m.tlb.l1d).collect());
+        let (tlb_back_keys, tlb_back_of) =
+            dedup_groups::<TlbHierarchyConfig>(machines.iter().map(|m| m.tlb).collect());
+        let (pred_keys, predictor_of) =
+            dedup_groups::<PredictorKind>(machines.iter().map(|m| m.predictor).collect());
+
+        let cache_backs: Vec<CacheBackLane> = back_keys
+            .iter()
+            .map(|h| CacheBackLane {
+                back: L2Back::new(h),
+                l1i_group: l1i_keys.iter().position(|k| *k == h.l1i).unwrap(),
+                data_group: data_keys.iter().position(|k| *k == data_key(h)).unwrap(),
+            })
+            .collect();
+        let tlb_backs = tlb_back_keys
+            .iter()
+            .map(|t| TlbBackLane {
+                l2: t.l2.map(Tlb::new),
+                walks_i: 0,
+                walks_d: 0,
+                itlb_group: itlb_keys.iter().position(|k| *k == t.l1i).unwrap(),
+                dtlb_group: dtlb_keys.iter().position(|k| *k == t.l1d).unwrap(),
+            })
+            .collect();
+        let min_shift = |it: &mut dyn Iterator<Item = u64>| {
+            it.map(|b| b.trailing_zeros()).min().unwrap_or(0)
+        };
+        FleetState {
+            fetch_miss: vec![false; l1i_keys.len()],
+            data_out: vec![(0, 0); data_keys.len()],
+            itlb_miss: vec![false; itlb_keys.len()],
+            dtlb_miss: vec![false; dtlb_keys.len()],
+            last_fetch_line: u64::MAX,
+            last_fetch_page: u64::MAX,
+            last_data_page: u64::MAX,
+            l1i_repeats: 0,
+            itlb_repeats: 0,
+            dtlb_repeats: 0,
+            l1i_min_shift: min_shift(&mut l1i_keys.iter().map(|k| k.line_bytes)),
+            itlb_min_shift: min_shift(&mut itlb_keys.iter().map(|k| k.page_bytes)),
+            dtlb_min_shift: min_shift(&mut dtlb_keys.iter().map(|k| k.page_bytes)),
+            l1i_lanes: l1i_keys.into_iter().map(Cache::new).collect(),
+            data_lanes: data_keys
+                .into_iter()
+                .map(|(l1d, prefetch)| DataFront::new(l1d, prefetch))
+                .collect(),
+            cache_backs,
+            itlbs: itlb_keys.into_iter().map(Tlb::new).collect(),
+            dtlbs: dtlb_keys.into_iter().map(Tlb::new).collect(),
+            tlb_backs,
+            predictors: pred_keys
+                .iter()
+                .map(|k| PredictorLane {
+                    predictor: k.build(),
+                    mispredicts: 0,
+                })
+                .collect(),
+            l1i_of,
+            data_of,
+            cache_back_of,
+            itlb_of,
+            dtlb_of,
+            tlb_back_of,
+            predictor_of,
+        }
+    }
+
+    /// Fans one instruction out across every group lane.
+    ///
+    /// Per structure this replays the exact per-instruction call sequence
+    /// of `CoreSimulator::run`; structures are mutually independent, so
+    /// reordering *between* them (all fronts, then all back ends, ...) is
+    /// invisible in the counters while letting the host overlap the
+    /// independent per-group update chains.
+    #[inline]
+    fn step(&mut self, inst: &Instruction, measured: bool) {
+        let pc = inst.pc;
+        let data = match inst.kind {
+            Kind::Load { addr, .. } | Kind::Store { addr, .. } => Some(addr),
+            _ => None,
+        };
+
+        // The back lanes replay each machine's per-instruction order from
+        // MemoryHierarchy::access — fetch demand, then prefetch install,
+        // then data demand — split into one loop per event; back lanes are
+        // disjoint structures, so interleaving across lanes is invisible,
+        // and a skipped (repeat-hit) front event has no back event at all.
+        let fetch_line = pc >> self.l1i_min_shift;
+        if fetch_line == self.last_fetch_line {
+            self.l1i_repeats += 1;
+        } else {
+            self.last_fetch_line = fetch_line;
+            for (l1i, miss) in self.l1i_lanes.iter_mut().zip(&mut self.fetch_miss) {
+                *miss = !l1i.access(pc);
+            }
+            for lane in &mut self.cache_backs {
+                if self.fetch_miss[lane.l1i_group] {
+                    lane.back.demand(pc, AccessKind::Fetch);
+                }
+            }
+        }
+        if let Some(addr) = data {
+            for (front, out) in self.data_lanes.iter_mut().zip(&mut self.data_out) {
+                let (hit, install) = front.access(addr);
+                let mut flags = ((!hit) as u8) << 1;
+                let mut line = 0;
+                if let Some(l) = install {
+                    flags |= INSTALL;
+                    line = l;
+                }
+                *out = (flags, line);
+            }
+            for lane in &mut self.cache_backs {
+                let (flags, line) = self.data_out[lane.data_group];
+                if flags != 0 {
+                    if flags & INSTALL != 0 {
+                        lane.back.install_shared(line);
+                    }
+                    if flags & DATA_MISS != 0 {
+                        lane.back.demand(addr, AccessKind::Data);
+                    }
+                }
+            }
+        }
+
+        // Instruction-side TLB refills precede the data-side refills, as in
+        // the per-instruction order of TlbHierarchy calls; a repeat-hit
+        // front page produces no refill on any lane.
+        let fetch_page = pc >> self.itlb_min_shift;
+        if fetch_page == self.last_fetch_page {
+            self.itlb_repeats += 1;
+        } else {
+            self.last_fetch_page = fetch_page;
+            for (tlb, miss) in self.itlbs.iter_mut().zip(&mut self.itlb_miss) {
+                *miss = !tlb.access(pc);
+            }
+            for lane in &mut self.tlb_backs {
+                if self.itlb_miss[lane.itlb_group] && lane.refill(pc) {
+                    lane.walks_i += 1;
+                }
+            }
+        }
+        if let Some(addr) = data {
+            let page = addr >> self.dtlb_min_shift;
+            if page == self.last_data_page {
+                self.dtlb_repeats += 1;
+            } else {
+                self.last_data_page = page;
+                for (tlb, miss) in self.dtlbs.iter_mut().zip(&mut self.dtlb_miss) {
+                    *miss = !tlb.access(addr);
+                }
+                for lane in &mut self.tlb_backs {
+                    if self.dtlb_miss[lane.dtlb_group] && lane.refill(addr) {
+                        lane.walks_d += 1;
+                    }
+                }
+            }
+        }
+
+        if let Kind::Branch { taken, .. } = inst.kind {
+            for lane in &mut self.predictors {
+                let correct = lane.predictor.execute(pc, taken);
+                if measured && !correct {
+                    lane.mispredicts += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds the pending repeat-granule hit counts into every group's
+    /// access counters. Must run before any counter snapshot.
+    fn flush_repeats(&mut self) {
+        for l1i in &mut self.l1i_lanes {
+            l1i.credit_hits(self.l1i_repeats);
+        }
+        self.l1i_repeats = 0;
+        for tlb in &mut self.itlbs {
+            tlb.credit_hits(self.itlb_repeats);
+        }
+        self.itlb_repeats = 0;
+        for tlb in &mut self.dtlbs {
+            tlb.credit_hits(self.dtlb_repeats);
+        }
+        self.dtlb_repeats = 0;
+    }
+
+    /// One pass of the prewarm address walks for the whole fleet: the
+    /// region layout and the address loops run once; every group sees the
+    /// same probe sequence a per-machine prewarm would have produced.
+    fn prewarm(&mut self, profile: &WorkloadProfile) {
+        for (base, bytes) in horizon_trace::region_layout(profile) {
+            if bytes <= PREWARM_LIMIT {
+                for addr in (base..base + bytes).step_by(64) {
+                    self.prewarm_data(addr);
+                }
+            }
+        }
+        let (code_base, code_bytes) = horizon_trace::hot_code_layout(profile);
+        for addr in (code_base..code_base + code_bytes).step_by(64) {
+            self.prewarm_fetch(addr);
+        }
+        if profile.kernel_fraction() > 0.0 {
+            let (kbase, kbytes) = horizon_trace::kernel_code_layout();
+            for addr in (kbase..kbase + kbytes).step_by(64) {
+                self.prewarm_fetch(addr);
+            }
+        }
+    }
+
+    fn prewarm_data(&mut self, addr: u64) {
+        for (front, out) in self.data_lanes.iter_mut().zip(&mut self.data_out) {
+            let (hit, install) = front.access(addr);
+            let mut flags = ((!hit) as u8) << 1;
+            let mut line = 0;
+            if let Some(l) = install {
+                flags |= INSTALL;
+                line = l;
+            }
+            *out = (flags, line);
+        }
+        for lane in &mut self.cache_backs {
+            let (flags, line) = self.data_out[lane.data_group];
+            if flags & INSTALL != 0 {
+                lane.back.install_shared(line);
+            }
+            if flags & DATA_MISS != 0 {
+                lane.back.demand(addr, AccessKind::Data);
+            }
+        }
+        let page = addr >> self.dtlb_min_shift;
+        if page == self.last_data_page {
+            self.dtlb_repeats += 1;
+            return;
+        }
+        self.last_data_page = page;
+        for (tlb, miss) in self.dtlbs.iter_mut().zip(&mut self.dtlb_miss) {
+            *miss = !tlb.access(addr);
+        }
+        for lane in &mut self.tlb_backs {
+            if self.dtlb_miss[lane.dtlb_group] && lane.refill(addr) {
+                lane.walks_d += 1;
+            }
+        }
+    }
+
+    fn prewarm_fetch(&mut self, addr: u64) {
+        let line = addr >> self.l1i_min_shift;
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            for (l1i, miss) in self.l1i_lanes.iter_mut().zip(&mut self.fetch_miss) {
+                *miss = !l1i.access(addr);
+            }
+            for lane in &mut self.cache_backs {
+                if self.fetch_miss[lane.l1i_group] {
+                    lane.back.demand(addr, AccessKind::Fetch);
+                }
+            }
+        } else {
+            self.l1i_repeats += 1;
+        }
+        let page = addr >> self.itlb_min_shift;
+        if page == self.last_fetch_page {
+            self.itlb_repeats += 1;
+            return;
+        }
+        self.last_fetch_page = page;
+        for (tlb, miss) in self.itlbs.iter_mut().zip(&mut self.itlb_miss) {
+            *miss = !tlb.access(addr);
+        }
+        for lane in &mut self.tlb_backs {
+            if self.itlb_miss[lane.itlb_group] && lane.refill(addr) {
+                lane.walks_i += 1;
+            }
+        }
+    }
+
+    fn snapshots(&self) -> GroupSnapshots {
+        GroupSnapshots {
+            l1is: self
+                .l1i_lanes
+                .iter()
+                .map(|c| (c.accesses(), c.misses()))
+                .collect(),
+            datas: self
+                .data_lanes
+                .iter()
+                .map(|f| (f.l1d().accesses(), f.l1d().misses()))
+                .collect(),
+            cache_backs: self
+                .cache_backs
+                .iter()
+                .map(|l| {
+                    let (l2i_a, l2i_m) = l.back.instruction_side();
+                    let (l2d_a, l2d_m) = l.back.data_side();
+                    let (l3_a, l3_m) = l.back.l3_counts();
+                    (
+                        l2i_a,
+                        l2i_m,
+                        l2d_a,
+                        l2d_m,
+                        l3_a,
+                        l3_m,
+                        l.back.memory_accesses(),
+                    )
+                })
+                .collect(),
+            itlbs: self.itlbs.iter().map(|t| t.misses()).collect(),
+            dtlbs: self.dtlbs.iter().map(|t| t.misses()).collect(),
+            tlb_backs: self
+                .tlb_backs
+                .iter()
+                .map(|l| (l.walks_i, l.walks_d))
+                .collect(),
+        }
+    }
+
+    fn assemble(
+        &self,
+        machines: &[MachineConfig],
+        profile: &WorkloadProfile,
+        trace: &TraceCounts,
+        warm: &GroupSnapshots,
+    ) -> Vec<Counters> {
+        let end = self.snapshots();
+        machines
+            .iter()
+            .enumerate()
+            .map(|(m, machine)| {
+                let mut c = Counters {
+                    dependency_intensity: profile.dependency_intensity(),
+                    freq_ghz: machine.freq_ghz,
+                    ..Default::default()
+                };
+                c.instructions = trace.instructions;
+                c.kernel_instructions = trace.kernel_instructions;
+                c.loads = trace.loads;
+                c.stores = trace.stores;
+                c.branches = trace.branches;
+                c.taken_branches = trace.taken_branches;
+                c.fp_ops = trace.fp_ops;
+                c.simd_ops = trace.simd_ops;
+                c.mispredicts = self.predictors[self.predictor_of[m]].mispredicts;
+
+                let ig = self.l1i_of[m];
+                c.l1i_accesses = end.l1is[ig].0 - warm.l1is[ig].0;
+                c.l1i_misses = end.l1is[ig].1 - warm.l1is[ig].1;
+                let dg = self.data_of[m];
+                c.l1d_accesses = end.datas[dg].0 - warm.datas[dg].0;
+                c.l1d_misses = end.datas[dg].1 - warm.datas[dg].1;
+
+                let bg = self.cache_back_of[m];
+                let (w, e) = (warm.cache_backs[bg], end.cache_backs[bg]);
+                c.l2i_accesses = e.0 - w.0;
+                c.l2i_misses = e.1 - w.1;
+                c.l2d_accesses = e.2 - w.2;
+                c.l2d_misses = e.3 - w.3;
+                c.l3_accesses = e.4 - w.4;
+                c.l3_misses = e.5 - w.5;
+                c.memory_accesses = e.6 - w.6;
+
+                let ig = self.itlb_of[m];
+                c.itlb_misses = end.itlbs[ig] - warm.itlbs[ig];
+                let dg = self.dtlb_of[m];
+                c.dtlb_misses = end.dtlbs[dg] - warm.dtlbs[dg];
+                let tg = self.tlb_back_of[m];
+                c.page_walks_instruction = end.tlb_backs[tg].0 - warm.tlb_backs[tg].0;
+                c.page_walks_data = end.tlb_backs[tg].1 - warm.tlb_backs[tg].1;
+
+                // Per-machine telemetry, so fleet totals equal the sums the
+                // independent runs would have produced.
+                horizon_telemetry::counter_add("sim.instructions", c.instructions);
+                horizon_telemetry::counter_add("sim.l1d_accesses", c.l1d_accesses);
+                horizon_telemetry::counter_add("sim.l1d_misses", c.l1d_misses);
+                horizon_telemetry::counter_add("sim.l3_accesses", c.l3_accesses);
+                horizon_telemetry::counter_add("sim.l3_misses", c.l3_misses);
+                horizon_telemetry::counter_add("sim.branch_mispredicts", c.mispredicts);
+
+                c.cpi_stack = CpiStack::compute(&c, machine);
+                c
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::CoreSimulator;
+    use horizon_trace::Region;
+
+    #[test]
+    fn empty_fleet_returns_no_counters() {
+        let p = WorkloadProfile::builder("w").build().unwrap();
+        assert!(FleetSimulator::new(&[]).run(&p, 10_000, 1).is_empty());
+    }
+
+    #[test]
+    fn single_machine_fleet_equals_core_simulator() {
+        let p = WorkloadProfile::builder("w")
+            .loads(0.3)
+            .stores(0.1)
+            .branches(0.15)
+            .build()
+            .unwrap();
+        let m = MachineConfig::skylake_i7_6700();
+        let fleet = FleetSimulator::new(std::slice::from_ref(&m))
+            .with_warmup(20_000)
+            .run(&p, 100_000, 7);
+        let solo = CoreSimulator::new(&m)
+            .with_warmup(20_000)
+            .run(&p, 100_000, 7);
+        assert_eq!(fleet, vec![solo]);
+    }
+
+    #[test]
+    fn full_table_iv_fleet_matches_independent_runs() {
+        // The fixed-vector correctness gate: all seven paper machines, a
+        // memory-heavy profile, warmup enabled.
+        let p = WorkloadProfile::builder("w")
+            .loads(0.35)
+            .stores(0.12)
+            .branches(0.18)
+            .regions(vec![
+                Region::random(24 << 10, 0.6),
+                Region::random(3 << 20, 0.4),
+            ])
+            .build()
+            .unwrap();
+        let machines = MachineConfig::table_iv_machines();
+        let fleet = FleetSimulator::new(&machines)
+            .with_warmup(30_000)
+            .run(&p, 120_000, 42);
+        for (c, m) in fleet.iter().zip(&machines) {
+            let solo = CoreSimulator::new(m)
+                .with_warmup(30_000)
+                .run(&p, 120_000, 42);
+            assert_eq!(*c, solo, "machine {}", m.name);
+        }
+    }
+
+    #[test]
+    fn zero_warmup_fleet_matches() {
+        let p = WorkloadProfile::builder("w").loads(0.2).build().unwrap();
+        let machines = [MachineConfig::core2_e5405(), MachineConfig::opteron_2435()];
+        let fleet = FleetSimulator::new(&machines).run(&p, 50_000, 3);
+        for (c, m) in fleet.iter().zip(&machines) {
+            assert_eq!(*c, CoreSimulator::new(m).run(&p, 50_000, 3));
+        }
+    }
+
+    #[test]
+    fn duplicate_machines_get_identical_counters() {
+        let p = WorkloadProfile::builder("w").loads(0.3).build().unwrap();
+        let m = MachineConfig::sparc_t4();
+        let fleet = FleetSimulator::new(&[m.clone(), m]).run(&p, 30_000, 9);
+        assert_eq!(fleet[0], fleet[1]);
+    }
+
+    #[test]
+    fn group_dedup_is_semantically_invisible() {
+        // Two machines that differ ONLY in shared levels: same L1 front
+        // ends, same predictor. The fleet simulates the fronts once; the
+        // counters must still match machine-by-machine independent runs.
+        let a = MachineConfig::skylake_i7_6700();
+        let mut b = a.clone();
+        b.name = "variant".into();
+        b.hierarchy.l3 = Some(CacheConfig::new(2 << 20, 16));
+        b.tlb.l2 = None;
+        let p = WorkloadProfile::builder("w")
+            .loads(0.35)
+            .regions(vec![Region::random(4 << 20, 1.0)])
+            .build()
+            .unwrap();
+        let machines = [a, b];
+        let fleet = FleetSimulator::new(&machines)
+            .with_warmup(10_000)
+            .run(&p, 60_000, 11);
+        for (c, m) in fleet.iter().zip(&machines) {
+            assert_eq!(
+                *c,
+                CoreSimulator::new(m).with_warmup(10_000).run(&p, 60_000, 11),
+                "machine {}",
+                m.name
+            );
+        }
+    }
+}

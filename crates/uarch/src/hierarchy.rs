@@ -82,17 +82,18 @@ pub struct HierarchyConfig {
     pub prefetch: PrefetchConfig,
 }
 
-/// A simulated cache hierarchy with per-side L2 accounting.
+/// The data half of an L1 front end: the L1D cache plus the stream
+/// prefetcher state it drives.
 ///
-/// The paper's Table II reports L2 *instruction-side* and *data-side* MPKI
-/// separately even though the L2 is physically unified — the side is the
-/// side of the L1 that missed. This type keeps the same books.
+/// The prefetcher and the L1D are inseparable — tracker allocation is
+/// driven by the L1D miss stream, and `to_l1` prefetches mutate L1D
+/// contents — so they group as one unit. The evolution of a `DataFront`
+/// depends only on (its configuration, the machine-independent data
+/// address stream): the fleet kernel shares one instance between machines
+/// with an identical (l1d, prefetch) pair.
 #[derive(Debug, Clone)]
-pub struct MemoryHierarchy {
-    l1i: Cache,
+pub(crate) struct DataFront {
     l1d: Cache,
-    l2: Cache,
-    l3: Option<Cache>,
     prefetch: PrefetchConfig,
     /// Stream-tracker table: per slot, the next line address the stream is
     /// expected to touch. A demand access matching a tracker confirms the
@@ -103,6 +104,129 @@ pub struct MemoryHierarchy {
     /// next sequential line is what allocates a tracker, so random misses
     /// cannot thrash the tracker table.
     last_miss_line: u64,
+}
+
+impl DataFront {
+    pub(crate) fn new(l1d: CacheConfig, prefetch: PrefetchConfig) -> Self {
+        DataFront {
+            l1d: Cache::new(l1d),
+            prefetch,
+            streams: [u64::MAX; 16],
+            stream_cursor: 0,
+            last_miss_line: u64::MAX,
+        }
+    }
+
+    /// Data probe; returns the L1D outcome and, when the stream prefetcher
+    /// fires toward the shared levels, the line address the back end must
+    /// install (in that order: install precedes the demand L2 access).
+    #[inline]
+    pub(crate) fn access(&mut self, addr: u64) -> (bool, Option<u64>) {
+        let l1_hit = self.l1d.access(addr);
+        let install = self.stream_prefetch(addr, l1_hit);
+        (l1_hit, install)
+    }
+
+    pub(crate) fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// Stream prefetcher: a demand access that matches a tracked stream
+    /// confirms it and runs one line ahead; an L1D miss with no matching
+    /// stream allocates a tracker. Fills never count as demand traffic.
+    /// Returns the prefetched line when the shared levels must install it.
+    fn stream_prefetch(&mut self, addr: u64, l1_hit: bool) -> Option<u64> {
+        if !self.prefetch.to_l1 && !self.prefetch.to_l2 {
+            return None;
+        }
+        let line = addr & !63;
+        // Branch-free membership reduce before the locate scan: the 16-wide
+        // tracker compare vectorizes, and most accesses match no stream.
+        let mut tracked = false;
+        for &s in &self.streams {
+            tracked |= s == line;
+        }
+        if tracked {
+            let slot = self.streams.iter().position(|&s| s == line).unwrap();
+            let next = line.wrapping_add(64);
+            self.streams[slot] = next;
+            return self.install_prefetch(next);
+        } else if !l1_hit {
+            // Allocate only on two sequential misses, so random traffic
+            // cannot evict live stream trackers.
+            if line == self.last_miss_line.wrapping_add(64) {
+                let next = line.wrapping_add(64);
+                self.streams[self.stream_cursor] = next;
+                self.stream_cursor = (self.stream_cursor + 1) % self.streams.len();
+                self.last_miss_line = line;
+                return self.install_prefetch(next);
+            }
+            self.last_miss_line = line;
+        }
+        None
+    }
+
+    fn install_prefetch(&mut self, addr: u64) -> Option<u64> {
+        // L1 fills at MRU (the demand use follows within a few accesses);
+        // shared levels fill at LRU priority so streams cannot wash out
+        // resident working sets.
+        if self.prefetch.to_l1 {
+            self.l1d.install(addr);
+        }
+        self.prefetch.to_l2.then_some(addr)
+    }
+}
+
+/// The L1 half of a hierarchy: the L1I cache plus the [`DataFront`].
+///
+/// This is the part of a [`MemoryHierarchy`] whose evolution depends only
+/// on its own configuration and the (machine-independent) access stream:
+/// probing it yields L1 hit/miss outcomes and the prefetch addresses
+/// destined for the shared levels, without touching any L2/L3 state. The
+/// fleet kernel shares the two halves independently (L1I by cache config,
+/// data front by (l1d, prefetch) pair).
+#[derive(Debug, Clone)]
+pub(crate) struct L1Front {
+    l1i: Cache,
+    data: DataFront,
+}
+
+impl L1Front {
+    pub(crate) fn new(config: &HierarchyConfig) -> Self {
+        L1Front {
+            l1i: Cache::new(config.l1i),
+            data: DataFront::new(config.l1d, config.prefetch),
+        }
+    }
+
+    /// Instruction-fetch probe; returns `true` on L1I hit.
+    #[inline]
+    pub(crate) fn access_fetch(&mut self, addr: u64) -> bool {
+        self.l1i.access(addr)
+    }
+
+    /// Data probe; see [`DataFront::access`].
+    #[inline]
+    pub(crate) fn access_data(&mut self, addr: u64) -> (bool, Option<u64>) {
+        self.data.access(addr)
+    }
+
+    pub(crate) fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    pub(crate) fn l1d(&self) -> &Cache {
+        self.data.l1d()
+    }
+}
+
+/// The shared half of a hierarchy: unified L2, optional L3, and the
+/// per-side demand accounting. Driven purely by the L1 miss/install
+/// stream its front end produces.
+#[derive(Debug, Clone)]
+pub(crate) struct L2Back {
+    l2: Cache,
+    l3: Option<Cache>,
     l2i_accesses: u64,
     l2i_misses: u64,
     l2d_accesses: u64,
@@ -111,18 +235,11 @@ pub struct MemoryHierarchy {
     l3_misses: u64,
 }
 
-impl MemoryHierarchy {
-    /// Builds an empty hierarchy from its geometry.
-    pub fn new(config: &HierarchyConfig) -> Self {
-        MemoryHierarchy {
-            l1i: Cache::new(config.l1i),
-            l1d: Cache::new(config.l1d),
+impl L2Back {
+    pub(crate) fn new(config: &HierarchyConfig) -> Self {
+        L2Back {
             l2: Cache::new(config.l2),
             l3: config.l3.map(Cache::new),
-            prefetch: config.prefetch,
-            streams: [u64::MAX; 16],
-            stream_cursor: 0,
-            last_miss_line: u64::MAX,
             l2i_accesses: 0,
             l2i_misses: 0,
             l2d_accesses: 0,
@@ -132,18 +249,8 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Performs an access and returns the deepest level reached.
-    pub fn access(&mut self, addr: u64, kind: AccessKind) -> HitLevel {
-        let l1_hit = match kind {
-            AccessKind::Fetch => self.l1i.access(addr),
-            AccessKind::Data => self.l1d.access(addr),
-        };
-        if kind == AccessKind::Data {
-            self.stream_prefetch(addr, l1_hit);
-        }
-        if l1_hit {
-            return HitLevel::L1;
-        }
+    /// Demand access from an L1 miss; returns the deepest level reached.
+    pub(crate) fn demand(&mut self, addr: u64, kind: AccessKind) -> HitLevel {
         match kind {
             AccessKind::Fetch => self.l2i_accesses += 1,
             AccessKind::Data => self.l2d_accesses += 1,
@@ -169,87 +276,129 @@ impl MemoryHierarchy {
         }
     }
 
-    /// The L1 instruction cache.
-    pub fn l1i(&self) -> &Cache {
-        &self.l1i
+    /// Prefetch fill at LRU priority into L2 and (when present) L3.
+    pub(crate) fn install_shared(&mut self, addr: u64) {
+        self.l2.install_lru(addr);
+        if let Some(l3) = &mut self.l3 {
+            l3.install_lru(addr);
+        }
     }
 
-    /// The L1 data cache.
-    pub fn l1d(&self) -> &Cache {
-        &self.l1d
-    }
-
-    /// The unified L2.
-    pub fn l2(&self) -> &Cache {
+    pub(crate) fn l2(&self) -> &Cache {
         &self.l2
     }
 
-    /// The unified L3, if present.
-    pub fn l3(&self) -> Option<&Cache> {
+    pub(crate) fn l3(&self) -> Option<&Cache> {
         self.l3.as_ref()
     }
 
-    /// Instruction-side L2 (accesses, misses).
-    pub fn l2_instruction_side(&self) -> (u64, u64) {
+    pub(crate) fn instruction_side(&self) -> (u64, u64) {
         (self.l2i_accesses, self.l2i_misses)
     }
 
-    /// Data-side L2 (accesses, misses).
-    pub fn l2_data_side(&self) -> (u64, u64) {
+    pub(crate) fn data_side(&self) -> (u64, u64) {
         (self.l2d_accesses, self.l2d_misses)
     }
 
-    /// L3 (accesses, misses); zeros when no L3 is configured.
-    pub fn l3_counts(&self) -> (u64, u64) {
+    pub(crate) fn l3_counts(&self) -> (u64, u64) {
         (self.l3_accesses, self.l3_misses)
     }
 
-    /// Stream prefetcher: a demand access that matches a tracked stream
-    /// confirms it and runs one line ahead; an L1D miss with no matching
-    /// stream allocates a tracker. Fills never count as demand traffic.
-    fn stream_prefetch(&mut self, addr: u64, l1_hit: bool) {
-        if !self.prefetch.to_l1 && !self.prefetch.to_l2 {
-            return;
-        }
-        let line = addr & !63;
-        if let Some(slot) = self.streams.iter().position(|&s| s == line) {
-            let next = line.wrapping_add(64);
-            self.streams[slot] = next;
-            self.install_prefetch(next);
-        } else if !l1_hit {
-            // Allocate only on two sequential misses, so random traffic
-            // cannot evict live stream trackers.
-            if line == self.last_miss_line.wrapping_add(64) {
-                let next = line.wrapping_add(64);
-                self.streams[self.stream_cursor] = next;
-                self.stream_cursor = (self.stream_cursor + 1) % self.streams.len();
-                self.install_prefetch(next);
-            }
-            self.last_miss_line = line;
-        }
-    }
-
-    fn install_prefetch(&mut self, addr: u64) {
-        // L1 fills at MRU (the demand use follows within a few accesses);
-        // shared levels fill at LRU priority so streams cannot wash out
-        // resident working sets.
-        if self.prefetch.to_l1 {
-            self.l1d.install(addr);
-        }
-        if self.prefetch.to_l2 {
-            self.l2.install_lru(addr);
-            if let Some(l3) = &mut self.l3 {
-                l3.install_lru(addr);
-            }
-        }
-    }
-
     /// Accesses that went all the way to DRAM.
-    pub fn memory_accesses(&self) -> u64 {
+    pub(crate) fn memory_accesses(&self) -> u64 {
         match self.l3 {
             Some(_) => self.l3_misses,
             None => self.l2i_misses + self.l2d_misses,
         }
+    }
+}
+
+/// A simulated cache hierarchy with per-side L2 accounting.
+///
+/// The paper's Table II reports L2 *instruction-side* and *data-side* MPKI
+/// separately even though the L2 is physically unified — the side is the
+/// side of the L1 that missed. This type keeps the same books.
+///
+/// Internally this is an [`L1Front`] (split L1s + prefetcher) feeding an
+/// [`L2Back`] (shared levels); the fleet kernel recombines the same halves
+/// across machines, so both paths execute identical structure code.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    front: L1Front,
+    back: L2Back,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy from its geometry.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        MemoryHierarchy {
+            front: L1Front::new(config),
+            back: L2Back::new(config),
+        }
+    }
+
+    /// Performs an access and returns the deepest level reached.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> HitLevel {
+        match kind {
+            AccessKind::Fetch => {
+                if self.front.access_fetch(addr) {
+                    HitLevel::L1
+                } else {
+                    self.back.demand(addr, AccessKind::Fetch)
+                }
+            }
+            AccessKind::Data => {
+                let (l1_hit, install) = self.front.access_data(addr);
+                if let Some(line) = install {
+                    self.back.install_shared(line);
+                }
+                if l1_hit {
+                    HitLevel::L1
+                } else {
+                    self.back.demand(addr, AccessKind::Data)
+                }
+            }
+        }
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        self.front.l1i()
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        self.front.l1d()
+    }
+
+    /// The unified L2.
+    pub fn l2(&self) -> &Cache {
+        self.back.l2()
+    }
+
+    /// The unified L3, if present.
+    pub fn l3(&self) -> Option<&Cache> {
+        self.back.l3()
+    }
+
+    /// Instruction-side L2 (accesses, misses).
+    pub fn l2_instruction_side(&self) -> (u64, u64) {
+        self.back.instruction_side()
+    }
+
+    /// Data-side L2 (accesses, misses).
+    pub fn l2_data_side(&self) -> (u64, u64) {
+        self.back.data_side()
+    }
+
+    /// L3 (accesses, misses); zeros when no L3 is configured.
+    pub fn l3_counts(&self) -> (u64, u64) {
+        self.back.l3_counts()
+    }
+
+    /// Accesses that went all the way to DRAM.
+    pub fn memory_accesses(&self) -> u64 {
+        self.back.memory_accesses()
     }
 }
 

@@ -31,7 +31,9 @@
 pub mod branch;
 mod cache;
 mod counters;
+mod fleet;
 mod hierarchy;
+mod lru;
 mod machine;
 mod power;
 mod simulator;
@@ -41,6 +43,7 @@ mod topdown;
 pub use branch::{BranchPredictor, PredictorKind};
 pub use cache::{Cache, CacheConfig};
 pub use counters::Counters;
+pub use fleet::FleetSimulator;
 pub use hierarchy::{AccessKind, HierarchyConfig, MemoryHierarchy, PrefetchConfig};
 pub use machine::{Isa, LatencyModel, MachineConfig};
 pub use power::{PowerModel, PowerReport};

@@ -32,9 +32,18 @@ pub struct CoreSimulator {
     warmup: u64,
 }
 
+/// Largest data region the prewarm pass walks through the hierarchy:
+/// anything bigger cannot stay resident and would only wash the LLC right
+/// before measurement (shared with the fleet kernel).
+pub(crate) const PREWARM_LIMIT: u64 = 6 << 20;
+
 impl CoreSimulator {
-    /// Creates a simulator for a machine with a default warmup of 10% of the
-    /// measured window (set explicitly with [`CoreSimulator::with_warmup`]).
+    /// Creates a simulator for a machine with **no warmup**: counters start
+    /// accumulating from the first instruction and cold-start misses are
+    /// included. Set a warmup explicitly with
+    /// [`CoreSimulator::with_warmup`], or use
+    /// [`CoreSimulator::with_default_warmup`] for the conventional 10% of
+    /// the measured window.
     pub fn new(machine: &MachineConfig) -> Self {
         CoreSimulator {
             machine: machine.clone(),
@@ -47,6 +56,12 @@ impl CoreSimulator {
     pub fn with_warmup(mut self, instructions: u64) -> Self {
         self.warmup = instructions;
         self
+    }
+
+    /// Sets the conventional warmup of 10% of a measured window of
+    /// `instructions`, the ratio used by the repo's default campaigns.
+    pub fn with_default_warmup(self, instructions: u64) -> Self {
+        self.with_warmup(instructions / 10)
     }
 
     /// The machine this simulator models.
@@ -73,7 +88,6 @@ impl CoreSimulator {
             // Only pre-warm regions that can actually stay resident: walking
             // a DRAM-scale region through the hierarchy would wash the LLC
             // right before measurement and re-cold every smaller region.
-            const PREWARM_LIMIT: u64 = 6 << 20;
             for (base, bytes) in horizon_trace::region_layout(profile) {
                 if bytes <= PREWARM_LIMIT {
                     for addr in (base..base + bytes).step_by(64) {
@@ -187,27 +201,27 @@ impl CoreSimulator {
     }
 }
 
-/// Counter snapshot for warmup subtraction.
+/// Counter snapshot for warmup subtraction (shared with the fleet kernel).
 #[derive(Debug, Clone, Copy, Default)]
-struct Snapshot {
-    l1i_acc: u64,
-    l1i_miss: u64,
-    l1d_acc: u64,
-    l1d_miss: u64,
-    l2i_acc: u64,
-    l2i_miss: u64,
-    l2d_acc: u64,
-    l2d_miss: u64,
-    l3_acc: u64,
-    l3_miss: u64,
-    mem: u64,
-    itlb_miss: u64,
-    dtlb_miss: u64,
-    walks_i: u64,
-    walks_d: u64,
+pub(crate) struct Snapshot {
+    pub(crate) l1i_acc: u64,
+    pub(crate) l1i_miss: u64,
+    pub(crate) l1d_acc: u64,
+    pub(crate) l1d_miss: u64,
+    pub(crate) l2i_acc: u64,
+    pub(crate) l2i_miss: u64,
+    pub(crate) l2d_acc: u64,
+    pub(crate) l2d_miss: u64,
+    pub(crate) l3_acc: u64,
+    pub(crate) l3_miss: u64,
+    pub(crate) mem: u64,
+    pub(crate) itlb_miss: u64,
+    pub(crate) dtlb_miss: u64,
+    pub(crate) walks_i: u64,
+    pub(crate) walks_d: u64,
 }
 
-fn snapshot(caches: &MemoryHierarchy, tlbs: &TlbHierarchy) -> Snapshot {
+pub(crate) fn snapshot(caches: &MemoryHierarchy, tlbs: &TlbHierarchy) -> Snapshot {
     let (l2i_acc, l2i_miss) = caches.l2_instruction_side();
     let (l2d_acc, l2d_miss) = caches.l2_data_side();
     let (l3_acc, l3_miss) = caches.l3_counts();

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::lru::LruSets;
+
 /// Geometry of one TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbConfig {
@@ -32,13 +34,12 @@ impl TlbConfig {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    tags: Vec<u64>,
-    stamps: Vec<u64>,
-    clock: u64,
+    /// Tag/stamp storage with true-LRU replacement and a hot-page memo;
+    /// keys are page numbers (`addr >> page_shift`).
+    entries: LruSets,
     accesses: u64,
     misses: u64,
     page_shift: u32,
-    set_mask: u64,
 }
 
 impl Tlb {
@@ -58,13 +59,10 @@ impl Tlb {
         );
         Tlb {
             config,
-            tags: vec![u64::MAX; (sets * config.associativity) as usize],
-            stamps: vec![0; (sets * config.associativity) as usize],
-            clock: 0,
+            entries: LruSets::new(sets as u64, config.associativity),
             accesses: 0,
             misses: 0,
             page_shift: config.page_bytes.trailing_zeros(),
-            set_mask: sets as u64 - 1,
         }
     }
 
@@ -75,41 +73,25 @@ impl Tlb {
 
     /// Looks up the page containing `addr`; returns `true` on hit. Misses
     /// install the translation.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        self.clock += 1;
         self.accesses += 1;
-        let page = addr >> self.page_shift;
-        let set = (page & self.set_mask) as usize;
-        let tag = page >> self.set_mask.count_ones();
-        let ways = self.config.associativity as usize;
-        let base = set * ways;
-        for w in 0..ways {
-            if self.tags[base + w] == tag {
-                self.stamps[base + w] = self.clock;
-                return true;
-            }
-        }
-        self.misses += 1;
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..ways {
-            if self.tags[base + w] == u64::MAX {
-                victim = w;
-                break;
-            }
-            if self.stamps[base + w] < oldest {
-                oldest = self.stamps[base + w];
-                victim = w;
-            }
-        }
-        self.tags[base + victim] = tag;
-        self.stamps[base + victim] = self.clock;
-        false
+        let hit = self.entries.touch(addr >> self.page_shift);
+        self.misses += !hit as u64;
+        hit
     }
 
     /// Total lookups.
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Credits `n` batched hits: lookups known to repeat the immediately
+    /// preceding lookup's page (hence resident and already MRU), counted
+    /// without replaying the lookup. Used by the fleet kernel's
+    /// repeat-granule fast path.
+    pub(crate) fn credit_hits(&mut self, n: u64) {
+        self.accesses += n;
     }
 
     /// Total misses.

@@ -1,0 +1,84 @@
+//! Phase cost breakdown of the fleet kernel vs independent runs.
+//!
+//! Times trace generation alone, one `FleetSimulator` pass over the
+//! Table IV machines, and the pre-fleet strategy of seven independent
+//! `CoreSimulator` runs, printing the wall-clock ratio. A quick
+//! diagnostic for perf work on the simulation hot path — the rigorous
+//! numbers live in `crates/uarch/benches/fleet.rs` / `BENCH_sim.json`.
+//!
+//! ```sh
+//! cargo run --release --example cost_split
+//! ```
+//!
+//! Knobs (env vars): `NMACH` truncates the fleet, `WINDOW` sets the
+//! instruction window (default 300k), `PROFILE` picks the workload index,
+//! `PROF_REPS=N` loops the fleet pass for profiling under `perf`, and
+//! `FLEET_STAGE` skips the independent-runs baseline.
+
+use horizon_trace::TraceGenerator;
+use horizon_uarch::{CoreSimulator, FleetSimulator, MachineConfig};
+use std::time::Instant;
+
+fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn main() {
+    let profiles: Vec<_> = horizon_workloads::cpu2017::all()
+        .into_iter()
+        .map(|b| b.profile().clone())
+        .collect();
+    let mut machines = MachineConfig::table_iv_machines();
+    if let Ok(n) = std::env::var("NMACH") {
+        machines.truncate(n.parse().unwrap());
+    }
+    let window: u64 = std::env::var("WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300_000);
+    let warmup = window / 5;
+    let pidx: usize = std::env::var("PROFILE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let p = &profiles[pidx];
+    println!("profile {}", p.name());
+
+    let gen = best_of(3, || {
+        std::hint::black_box(
+            TraceGenerator::new(p, 42)
+                .take((window + warmup) as usize)
+                .map(|i| i.pc & 1)
+                .sum::<u64>(),
+        );
+    });
+    println!("gen only   {gen:6.1} ms");
+
+    if let Ok(n) = std::env::var("PROF_REPS") {
+        let n: usize = n.parse().unwrap();
+        for _ in 0..n {
+            std::hint::black_box(FleetSimulator::new(&machines).run(p, window + warmup, 42));
+        }
+        return;
+    }
+
+    let fleet = best_of(5, || {
+        std::hint::black_box(FleetSimulator::new(&machines).run(p, window + warmup, 42));
+    });
+    println!("full fleet {fleet:6.1} ms");
+
+    if std::env::var("FLEET_STAGE").is_err() {
+        let indep = best_of(3, || {
+            for m in &machines {
+                std::hint::black_box(CoreSimulator::new(m).run(p, window + warmup, 42));
+            }
+        });
+        println!("indep x7   {indep:6.1} ms  ratio {:.2}x", indep / fleet);
+    }
+}
