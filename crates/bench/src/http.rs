@@ -77,6 +77,16 @@ impl Request {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// First value of a `?name=value` query parameter, if present. A bare
+    /// key with no `=` yields an empty value.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.path.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name).then_some(value)
+        })
+    }
 }
 
 /// A request-parsing failure, carrying the HTTP status it maps to.
@@ -418,6 +428,17 @@ mod tests {
     }
 
     #[test]
+    fn query_params_are_parsed_from_the_path() {
+        let req = parse(b"POST /run/table1?format=text&x=1&bare HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("format"), Some("text"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("bare"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        let plain = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(plain.query_param("format"), None);
+    }
+
+    #[test]
     fn bare_lf_line_endings_are_accepted() {
         let req = parse(b"GET / HTTP/1.1\nHost: x\n\n").unwrap();
         assert_eq!(req.path, "/");
@@ -573,7 +594,9 @@ mod tests {
     fn idle_disconnect_classification() {
         assert!(parse(b"").unwrap_err().is_idle_disconnect());
         // Mid-request failures are real errors, not idle closes.
-        assert!(!parse(b"GET / HTTP/1.1\r\nHost").unwrap_err().is_idle_disconnect());
+        assert!(!parse(b"GET / HTTP/1.1\r\nHost")
+            .unwrap_err()
+            .is_idle_disconnect());
         assert!(!parse(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nab")
             .unwrap_err()
             .is_idle_disconnect());

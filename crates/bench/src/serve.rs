@@ -12,14 +12,33 @@
 //! |---|---|
 //! | `GET /healthz` | liveness + warm-cache size |
 //! | `GET /experiments` | the experiment registry as JSON |
-//! | `POST /run/{experiment}` | run one experiment; JSON body for window/jobs/quick options |
+//! | `POST /run/{experiment}[?format=json\|text]` | run one experiment; JSON body for window/jobs/quick options |
 //! | `GET /metrics` | live Prometheus text exposition of the shared recorder |
 //! | `POST /cache/gc` | LRU-prune the on-disk cache ([`horizon_engine::GcReport`] JSON) |
 //!
-//! The served `report` string is byte-identical to the experiment's batch
-//! `repro <experiment>` stdout (report text plus trailing newline): both
-//! paths call [`run_experiment`] with the same [`ReproConfig`], and engine
-//! results are bit-identical regardless of worker count or cache state.
+//! # Reports
+//!
+//! The default `POST /run` response carries a **schema-versioned
+//! structured report** ([`horizon_core::report_v1::ReportV1`]) under
+//! `report`: tables, subsets, error statistics and notes parsed from the
+//! rendered text, plus engine cache-effectiveness deltas alongside.
+//! `?format=text` instead returns `text/plain` **byte-identical** to the
+//! experiment's batch `repro <experiment>` stdout (report text plus
+//! trailing newline): both paths call [`crate::run_experiment`] with the same
+//! [`ReproConfig`], engine results are bit-identical regardless of worker
+//! count or cache state, and the structured view is *derived from* that
+//! same text, so the two formats can never disagree.
+//!
+//! # Run scheduling
+//!
+//! Connection workers never execute experiments; they submit to the
+//! crate-private `sched` run scheduler and wait under the request's
+//! deadline.
+//! Identical in-flight requests (same experiment + campaign options)
+//! coalesce onto a single execution whose result answers every waiter —
+//! counted by `serve.coalesced_runs` — while distinct runs queue to a
+//! dedicated run-worker pool in largest-estimated-cost-first order
+//! (`serve.active_runs` gauges the executing ones).
 //!
 //! # Robustness
 //!
@@ -32,33 +51,39 @@
 //!   accept loop answers `503` with `Retry-After` *inline*, so saturation
 //!   never kills in-flight work and never blocks the accept thread on a
 //!   slow handler.
-//! * **Deadlines** — socket reads/writes carry an I/O timeout; each run
-//!   executes under a per-request deadline (`deadline_ms` in the body,
-//!   else the server default). A run that overshoots answers `504`, and
-//!   the computation is left to finish on a detached thread — its results
-//!   still land in the shared engine cache, so a retry is cheap.
+//! * **Deadlines** — socket reads/writes carry an I/O timeout; each
+//!   request waits for its run under a per-request deadline
+//!   (`deadline_ms` in the body, else the server default). A waiter that
+//!   overshoots answers `504` and detaches cleanly: the run finishes on
+//!   the scheduler, co-waiters on the same run still get their results,
+//!   and the shared engine cache stays warm so a retry is cheap.
 //! * **Hardened parsing** — see [`crate::http`]: malformed requests map to
 //!   4xx responses, never a panic; a panicking handler poisons nothing
-//!   because workers catch unwinds and answer `500`.
+//!   because workers catch unwinds and answer `500` (a panicking *run* is
+//!   caught on the run worker and answered as a clean `500` to every
+//!   waiter).
 //! * **Graceful shutdown** — `SIGTERM`/`SIGINT` (or
 //!   [`Server::shutdown_handle`]) stop the accept loop, drain queued and
-//!   in-flight requests, wait for detached runs up to a drain deadline,
-//!   and return so the caller can flush telemetry sinks and exit 0.
+//!   in-flight requests (connection pool first, so waiters can still be
+//!   answered by live run workers), then drain the run scheduler up to
+//!   the drain deadline, and return so the caller can flush telemetry
+//!   sinks and exit 0.
 
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use horizon_core::report_v1::ReportV1;
 use horizon_engine::Engine;
 use horizon_telemetry::Recorder;
 use serde::Value;
 
 use crate::http::{read_request, HttpError, Limits, Request, Response};
-use crate::{find_experiment, run_experiment, Experiment, ReproConfig, REGISTRY};
+use crate::sched::{RunKey, RunScheduler};
+use crate::{find_experiment, ReproConfig, REGISTRY};
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -249,18 +274,16 @@ impl<T: Send + 'static> Pool<T> {
     }
 }
 
-/// State shared between the accept loop, workers and detached runs.
+/// State shared between the accept loop, connection workers and the run
+/// scheduler.
 struct ServerState {
     engine: Arc<Engine>,
     recorder: Arc<Recorder>,
     opts: ServeOptions,
     started: Instant,
-    /// Worker count the daemon was started with; per-request `jobs`
-    /// overrides are restored to this after the run.
-    default_jobs: Option<usize>,
-    /// Runs still executing (including detached, timed-out ones); shutdown
-    /// drains this gauge before returning.
-    inflight_runs: AtomicUsize,
+    /// Executes and coalesces `POST /run` requests; shutdown drains it
+    /// after the connection pool.
+    sched: RunScheduler,
 }
 
 /// The daemon: a bound listener plus its worker pool. Construct with
@@ -290,13 +313,18 @@ impl Server {
         let listener = TcpListener::bind(&opts.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let sched = RunScheduler::new(
+            opts.workers,
+            Arc::clone(&engine),
+            Arc::clone(&recorder),
+            default_jobs,
+        );
         let state = Arc::new(ServerState {
             engine,
             recorder,
             opts,
             started: Instant::now(),
-            default_jobs,
-            inflight_runs: AtomicUsize::new(0),
+            sched,
         });
         let handler_state = Arc::clone(&state);
         let pool = Pool::new(
@@ -326,8 +354,8 @@ impl Server {
 
     /// Installs `SIGTERM`/`SIGINT` handlers and serves until one fires (or
     /// the [`Server::shutdown_handle`] flag is set), then drains: queued
-    /// and in-flight requests complete, detached runs get up to the drain
-    /// timeout, and the method returns `Ok(())` for a clean exit.
+    /// and in-flight requests complete, the run scheduler gets up to the
+    /// drain timeout, and the method returns `Ok(())` for a clean exit.
     ///
     /// # Errors
     ///
@@ -346,12 +374,10 @@ impl Server {
             }
         }
         drop(self.listener); // stop accepting before draining
+                             // Connection pool first: its workers may be waiting on run slots,
+                             // and the run workers (still alive here) are what answer them.
         self.pool.shutdown();
-        let drain_deadline = Instant::now() + self.state.opts.drain_timeout;
-        while self.state.inflight_runs.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline
-        {
-            std::thread::sleep(poll);
-        }
+        self.state.sched.shutdown(self.state.opts.drain_timeout);
         Ok(())
     }
 
@@ -500,6 +526,11 @@ fn healthz(state: &ServerState) -> Response {
         ("memo_entries".into(), json_num(state.engine.memo_entries())),
         ("workers".into(), json_num(state.opts.workers)),
         ("queue_cap".into(), json_num(state.opts.queue_cap)),
+        ("runs_pending".into(), json_num(state.sched.pending())),
+        (
+            "engine_inflight_waiting".into(),
+            json_num(state.engine.inflight_waiting()),
+        ),
     ]);
     Response::json(200, to_json(&body))
 }
@@ -638,39 +669,29 @@ fn parse_run_options(request: &Request) -> Result<RunOptions, HttpError> {
     Ok(opts)
 }
 
-/// Decrements the in-flight gauge when a run finishes, even by panic.
-struct InflightGuard(Arc<ServerState>);
-
-impl Drop for InflightGuard {
-    fn drop(&mut self) {
-        self.0.inflight_runs.fetch_sub(1, Ordering::SeqCst);
-    }
+/// The response format a `?format=` query selects.
+enum RunFormat {
+    /// Structured `report_v1` JSON (the default).
+    Json,
+    /// The batch report text, byte-identical to `repro <experiment>`.
+    Text,
 }
 
-/// Runs `f` on its own thread, waiting at most `deadline` for the result.
-/// On timeout the thread is left to finish detached (tracked by the
-/// in-flight gauge) — for experiment runs that means the shared engine
-/// cache still gets warmed, so the client's retry is cheap.
-fn with_deadline<T: Send + 'static>(
-    state: &Arc<ServerState>,
-    deadline: Duration,
-    f: impl FnOnce() -> T + Send + 'static,
-) -> Option<T> {
-    let (tx, rx) = mpsc::channel();
-    state.inflight_runs.fetch_add(1, Ordering::SeqCst);
-    let guard_state = Arc::clone(state);
-    std::thread::spawn(move || {
-        let _guard = InflightGuard(guard_state);
-        // A lost receiver (deadline elapsed, client answered 504) is fine.
-        let _ = tx.send(f());
-    });
-    // Timeout and Disconnected (the run thread panicked) both map to None.
-    rx.recv_timeout(deadline).ok()
-}
-
-/// `POST /run/{experiment}`: execute one registry experiment on the warm
-/// engine and return the report plus cache-effectiveness counters.
+/// `POST /run/{experiment}`: schedule one registry experiment on the warm
+/// engine (coalescing with identical in-flight runs) and return either the
+/// structured `report_v1` JSON or, with `?format=text`, the batch-stdout
+/// report text.
 fn run(state: &Arc<ServerState>, name: &str, request: &Request) -> Response {
+    let format = match request.query_param("format") {
+        None | Some("json") => RunFormat::Json,
+        Some("text") => RunFormat::Text,
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("unknown format '{other}' (known: json, text)"),
+            )
+        }
+    };
     let Some(experiment) = find_experiment(name) else {
         let known: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
         return Response::error(
@@ -697,69 +718,62 @@ fn run(state: &Arc<ServerState>, name: &str, request: &Request) -> Response {
     if let Some(seed) = opts.seed {
         cfg.campaign.seed = seed;
     }
-    if let Some(jobs) = opts.jobs {
-        // Best-effort under concurrency: worker count changes wall clock
-        // only, never results (engine determinism), so a racing request
-        // cannot corrupt anything.
-        state.engine.set_jobs(Some(jobs));
-    }
+
+    let key = RunKey {
+        experiment: experiment.id,
+        quick: opts.quick,
+        instructions: opts.instructions,
+        warmup: opts.warmup,
+        seed: opts.seed,
+    };
+    let (slot, coalesced) = state.sched.submit(experiment, key, cfg, opts.jobs);
+    let deadline = opts.deadline.unwrap_or(state.opts.request_timeout);
 
     let rec = &state.recorder;
-    let before_memo = rec.counter_value("engine.memo_hits");
-    let before_disk = rec.counter_value("engine.disk_hits");
-    let before_sim = rec.counter_value("engine.simulated_jobs");
-
-    let deadline = opts.deadline.unwrap_or(state.opts.request_timeout);
-    let run_started = Instant::now();
-    let outcome = with_deadline(state, deadline, {
-        let cfg = cfg.clone();
-        let experiment: &'static Experiment = experiment;
-        move || run_experiment(experiment, &cfg)
-    });
-    if opts.jobs.is_some() {
-        state.engine.set_jobs(state.default_jobs);
-    }
-
-    match outcome {
-        None => {
-            rec.counter_add("serve.deadline_exceeded", 1);
-            Response::error(
-                504,
-                &format!(
-                    "experiment '{}' exceeded its {} ms deadline (the run continues in the \
-                     background and will warm the cache; retry later)",
-                    experiment.id,
-                    deadline.as_millis()
-                ),
-            )
-        }
-        Some(Err(e)) => Response::error(500, &format!("experiment '{}': {e}", experiment.id)),
-        Some(Ok(report)) => {
+    let Some(output) = slot.wait(deadline) else {
+        rec.counter_add("serve.deadline_exceeded", 1);
+        return Response::error(
+            504,
+            &format!(
+                "experiment '{}' exceeded its {} ms deadline (this waiter detached; the run \
+                 continues on the scheduler, co-waiters are unaffected, and the warm cache \
+                 makes a retry cheap)",
+                experiment.id,
+                deadline.as_millis()
+            ),
+        );
+    };
+    let report = match output.report {
+        Ok(report) => report,
+        Err(message) => return Response::error(500, &message),
+    };
+    match format {
+        // Byte-identical to batch mode's `println!("{report}")`.
+        RunFormat::Text => Response::text(200, format!("{report}\n")),
+        RunFormat::Json => {
+            let structured = ReportV1::from_text(experiment.id, &report);
+            let report_value = serde_json::to_string(&structured)
+                .and_then(|json| serde_json::from_str::<Value>(&json));
+            let report_value = match report_value {
+                Ok(value) => value,
+                Err(e) => return Response::error(500, &format!("cannot serialize report_v1: {e}")),
+            };
             let engine_stats = Value::Map(vec![
-                (
-                    "memo_hits_delta".into(),
-                    json_num(rec.counter_value("engine.memo_hits") - before_memo),
-                ),
-                (
-                    "disk_hits_delta".into(),
-                    json_num(rec.counter_value("engine.disk_hits") - before_disk),
-                ),
+                ("memo_hits_delta".into(), json_num(output.memo_hits_delta)),
+                ("disk_hits_delta".into(), json_num(output.disk_hits_delta)),
                 (
                     "simulated_jobs_delta".into(),
-                    json_num(rec.counter_value("engine.simulated_jobs") - before_sim),
+                    json_num(output.simulated_jobs_delta),
                 ),
                 ("memo_entries".into(), json_num(state.engine.memo_entries())),
             ]);
             let body = Value::Map(vec![
                 ("experiment".into(), json_str(experiment.id)),
                 ("quick".into(), Value::Bool(opts.quick)),
-                (
-                    "wall_ms".into(),
-                    json_num(run_started.elapsed().as_millis()),
-                ),
+                ("coalesced".into(), Value::Bool(coalesced)),
+                ("wall_ms".into(), json_num(output.wall_ms)),
                 ("engine".into(), engine_stats),
-                // Byte-identical to batch mode's `println!("{report}")`.
-                ("report".into(), json_str(&format!("{report}\n"))),
+                ("report".into(), report_value),
             ]);
             Response::json(200, to_json(&body))
         }
@@ -771,6 +785,7 @@ mod tests {
     use super::*;
     use std::io::{Read, Write};
     use std::sync::atomic::AtomicU32;
+    use std::sync::mpsc;
 
     type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -900,21 +915,6 @@ mod tests {
         .unwrap_or_else(|_| panic!("rejected"));
         pool.shutdown();
         assert_eq!(ran.load(Ordering::SeqCst), 1, "worker outlived the panic");
-    }
-
-    #[test]
-    fn with_deadline_returns_fast_results_and_abandons_slow_ones() {
-        let server = test_server(1, 1);
-        let state = Arc::clone(&server.state);
-        assert_eq!(with_deadline(&state, Duration::from_secs(5), || 7), Some(7));
-        let slow = with_deadline(&state, Duration::from_millis(10), || {
-            std::thread::sleep(Duration::from_millis(300));
-            7
-        });
-        assert_eq!(slow, None, "slow work answers None (mapped to 504)");
-        assert_eq!(state.inflight_runs.load(Ordering::SeqCst), 1, "detached");
-        std::thread::sleep(Duration::from_millis(500));
-        assert_eq!(state.inflight_runs.load(Ordering::SeqCst), 0, "drained");
     }
 
     #[test]
@@ -1080,6 +1080,12 @@ mod tests {
             "POST /run/table1 HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"typo\":true}";
         let unknown = request(addr, unknown_opt);
         assert!(unknown.starts_with("HTTP/1.1 400 "), "{unknown}");
+        let bad_format = request(
+            addr,
+            "POST /run/table1?format=xml HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert!(bad_format.starts_with("HTTP/1.1 400 "), "{bad_format}");
+        assert!(bad_format.contains("unknown format 'xml'"), "{bad_format}");
 
         shutdown.store(true, Ordering::SeqCst);
         serving.join().expect("serve thread").expect("clean exit");

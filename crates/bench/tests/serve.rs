@@ -1,7 +1,9 @@
 //! End-to-end tests of `repro serve`: the daemon binds an ephemeral port,
 //! serves health/experiments/run/metrics/cache-gc endpoints over its warm
-//! engine, produces reports byte-identical to batch mode, and drains
-//! cleanly on SIGTERM.
+//! engine, answers runs with schema-versioned structured reports (and
+//! `?format=text` byte-identical to batch mode), and drains cleanly on
+//! SIGTERM. Concurrency behavior (request coalescing, saturation,
+//! deadline detach) lives in `serve_concurrency.rs`.
 
 #![cfg(unix)]
 
@@ -168,21 +170,37 @@ fn daemon_serves_runs_from_a_warm_cache_and_drains_on_sigterm() {
     let (status, timeout_body) = daemon.post("/run/table1", "{\"quick\":true,\"deadline_ms\":1}");
     assert_eq!(status, 504, "{timeout_body}");
 
-    // First real run: served, and byte-identical to batch-mode stdout.
+    // First real run: the default response carries the schema-versioned
+    // structured report (report_v1), not a text blob.
     let (status, first) = daemon.post("/run/table1", "{\"quick\":true}");
     assert_eq!(status, 200, "{first}");
     let first: Value = serde_json::from_str(&first).expect("run response is JSON");
     assert_eq!(str_field(&first, "experiment"), "table1");
-    let served_report = str_field(&first, "report").to_string();
+    assert!(
+        matches!(first.field("coalesced"), Ok(Value::Bool(_))),
+        "run responses must say whether they coalesced"
+    );
+    let report = first.field("report").expect("structured report present");
+    assert_eq!(num_field(report, "schema_version"), 1);
+    assert_eq!(str_field(report, "experiment"), "table1");
+    let Value::Seq(tables) = report.field("tables").expect("tables present") else {
+        panic!("'tables' is not an array: {report:?}");
+    };
+    assert!(!tables.is_empty(), "table1 must parse at least one table");
+    let served_report = serde_json::to_string(report).expect("report re-serializes");
+
+    // `?format=text` is byte-identical to batch-mode stdout.
+    let (status, text) = daemon.post("/run/table1?format=text", "{\"quick\":true}");
+    assert_eq!(status, 200, "{text}");
     let batch = Command::new(REPRO)
         .args(["table1", "--quick"])
         .output()
         .expect("batch repro runs");
     assert!(batch.status.success());
     assert_eq!(
-        served_report,
+        text,
         String::from_utf8(batch.stdout).unwrap(),
-        "served report differs from `repro table1 --quick` stdout"
+        "served ?format=text differs from `repro table1 --quick` stdout"
     );
 
     // Second identical run: answered from the warm in-process memo.
@@ -191,7 +209,12 @@ fn daemon_serves_runs_from_a_warm_cache_and_drains_on_sigterm() {
     let (status, second) = daemon.post("/run/table1", "{\"quick\":true}");
     assert_eq!(status, 200);
     let second: Value = serde_json::from_str(&second).expect("run response is JSON");
-    assert_eq!(str_field(&second, "report"), served_report, "reports drift");
+    let second_report = second.field("report").expect("structured report present");
+    assert_eq!(
+        serde_json::to_string(second_report).expect("report re-serializes"),
+        served_report,
+        "reports drift"
+    );
     let engine = second.field("engine").expect("engine stats present");
     assert!(
         num_field(engine, "memo_hits_delta") > 0,
@@ -238,6 +261,9 @@ fn daemon_rejects_malformed_requests_without_dying() {
     let (status, body) = daemon.post("/run/table1", "{\"frobnicate\":1}");
     assert_eq!(status, 400);
     assert!(body.contains("frobnicate"), "{body}");
+    let (status, body) = daemon.post("/run/table1?format=yaml", "{\"quick\":true}");
+    assert_eq!(status, 400);
+    assert!(body.contains("unknown format 'yaml'"), "{body}");
     let (status, _) = daemon.post("/cache/gc", "{}");
     assert_eq!(status, 409, "no cache dir configured");
     let (status, _) = daemon.get("/nope");

@@ -1,0 +1,345 @@
+//! Concurrency end-to-end tests of `repro serve`: identical simultaneous
+//! `POST /run` requests coalesce onto one engine campaign, distinct runs
+//! share the scheduler's worker pool, saturation still answers `503`, and
+//! a deadline-expired waiter detaches without corrupting the responses of
+//! co-waiters on the same run.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+const REPRO: &str = env!("CARGO_BIN_EXE_repro");
+
+/// Kills the daemon on drop so a failing assertion never leaks a process.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Daemon {
+    /// Spawns `repro serve` on an ephemeral port and waits for the ready
+    /// line (`repro-serve listening on http://ADDR`) on stderr.
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(REPRO)
+            .args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("repro serve spawns");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let ready = lines
+            .next()
+            .expect("daemon printed a ready line")
+            .expect("stderr is utf-8");
+        let addr = ready
+            .split("http://")
+            .nth(1)
+            .unwrap_or_else(|| panic!("unexpected ready line: {ready}"))
+            .trim()
+            .to_string();
+        // Keep draining stderr so the daemon can never block on a full pipe.
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Daemon { child, addr }
+    }
+
+    /// One HTTP/1.1 request; returns (status code, body).
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: repro\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no status line in: {response}"));
+        let payload = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, payload)
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        self.request("GET", path, None)
+    }
+
+    fn post(&self, path: &str, body: &str) -> (u16, String) {
+        self.request("POST", path, Some(body))
+    }
+
+    /// SIGTERMs the daemon and waits for it to exit, returning the code.
+    fn sigterm_and_wait(mut self, deadline: Duration) -> i32 {
+        let pid = self.child.id().to_string();
+        let status = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("kill runs");
+        assert!(status.success(), "kill -TERM failed");
+        let start = Instant::now();
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.code().unwrap_or(-1);
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "daemon did not exit within {deadline:?} after SIGTERM"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+fn num_field(v: &Value, name: &str) -> u64 {
+    match v.field(name).expect("field present") {
+        Value::Num(raw) => raw.parse().expect("integer field"),
+        other => panic!("field '{name}' is not a number: {other:?}"),
+    }
+}
+
+/// Reads a counter value out of Prometheus text format.
+fn prometheus_counter(metrics: &str, name: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no counter '{name}' in metrics:\n{metrics}"))
+}
+
+/// N identical simultaneous requests must execute the underlying campaign
+/// exactly once: all of them answer 200 with the same schema-versioned
+/// report, the engine simulates each unique job once (table1 quick = 43
+/// benchmarks × 1 machine), and the coalescing counters account for the
+/// N−1 riders.
+#[test]
+fn concurrent_identical_runs_coalesce_onto_one_campaign() {
+    const WAITERS: usize = 4;
+    let daemon = Arc::new(Daemon::spawn(&[]));
+
+    let barrier = Arc::new(Barrier::new(WAITERS));
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WAITERS)
+            .map(|_| {
+                let daemon = Arc::clone(&daemon);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    daemon.post("/run/table1", "{\"quick\":true}")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("poster"))
+            .collect()
+    });
+
+    let mut reports = Vec::new();
+    let mut coalesced_responses = 0;
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "{body}");
+        let parsed: Value = serde_json::from_str(body).expect("run response is JSON");
+        let report = parsed.field("report").expect("structured report");
+        assert_eq!(num_field(report, "schema_version"), 1, "{body}");
+        reports.push(serde_json::to_string(report).expect("report re-serializes"));
+        if matches!(parsed.field("coalesced"), Ok(Value::Bool(true))) {
+            coalesced_responses += 1;
+        }
+    }
+    assert!(
+        reports.windows(2).all(|w| w[0] == w[1]),
+        "every waiter must read the identical report"
+    );
+
+    let (_, metrics) = daemon.get("/metrics");
+    // All four arrived through the barrier while the cold run (tens of ms)
+    // was in flight: at least one rider coalesced at the HTTP layer...
+    let coalesced = prometheus_counter(&metrics, "horizon_serve_coalesced_runs");
+    assert!(
+        coalesced >= 1,
+        "expected coalesced runs, metrics:\n{metrics}"
+    );
+    assert_eq!(
+        coalesced, coalesced_responses as u64,
+        "the counter must agree with the responses' coalesced flags"
+    );
+    // ...and however the race between request coalescing and the engine
+    // memo resolved, each unique job was simulated exactly once.
+    assert_eq!(
+        prometheus_counter(&metrics, "horizon_engine_simulated_jobs"),
+        43,
+        "table1 --quick is 43 benchmarks × 1 machine, each simulated once"
+    );
+
+    let daemon = Arc::into_inner(daemon).expect("all posters joined");
+    let code = daemon.sigterm_and_wait(Duration::from_secs(30));
+    assert_eq!(code, 0);
+}
+
+/// Distinct experiments submitted together share the run-worker pool:
+/// every one completes with a valid report of its own.
+#[test]
+fn mixed_distinct_runs_all_complete() {
+    let daemon = Arc::new(Daemon::spawn(&[]));
+    let experiments = ["table1", "table2", "fig1"];
+
+    let responses: Vec<(&str, u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = experiments
+            .iter()
+            .map(|id| {
+                let daemon = Arc::clone(&daemon);
+                scope.spawn(move || {
+                    let (status, body) = daemon.post(&format!("/run/{id}"), "{\"quick\":true}");
+                    (*id, status, body)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("poster"))
+            .collect()
+    });
+
+    for (id, status, body) in &responses {
+        assert_eq!(*status, 200, "experiment '{id}': {body}");
+        let parsed: Value = serde_json::from_str(body).expect("run response is JSON");
+        let report = parsed.field("report").expect("structured report");
+        match report.field("experiment").expect("experiment field") {
+            Value::Str(s) => assert_eq!(s, id),
+            other => panic!("experiment field is not a string: {other:?}"),
+        }
+    }
+    let (_, metrics) = daemon.get("/metrics");
+    assert!(
+        prometheus_counter(&metrics, "horizon_serve_runs_executed") >= experiments.len() as u64,
+        "each distinct run executes, metrics:\n{metrics}"
+    );
+
+    let daemon = Arc::into_inner(daemon).expect("all posters joined");
+    let code = daemon.sigterm_and_wait(Duration::from_secs(30));
+    assert_eq!(code, 0);
+}
+
+/// Connection-level saturation is still answered inline with `503` and a
+/// `Retry-After` hint while the scheduler keeps its in-flight work.
+#[test]
+fn saturated_daemon_still_answers_503_with_retry_after() {
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue-cap", "1"]);
+
+    // Occupy the single connection worker and the single queue slot with
+    // connections that send nothing.
+    let hold_worker = TcpStream::connect(&daemon.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(400));
+    let hold_queue = TcpStream::connect(&daemon.addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: repro\r\n\r\n")
+        .expect("send");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 503 "),
+        "expected saturation 503, got: {response}"
+    );
+    assert!(response.contains("Retry-After: 1"), "{response}");
+
+    drop(hold_worker);
+    drop(hold_queue);
+    std::thread::sleep(Duration::from_millis(400));
+    let (status, _) = daemon.get("/healthz");
+    assert_eq!(status, 200, "daemon recovers after saturation");
+
+    let code = daemon.sigterm_and_wait(Duration::from_secs(30));
+    assert_eq!(code, 0);
+}
+
+/// A waiter whose tiny deadline expires detaches with `504` while a
+/// co-waiter on the very same coalesced run still receives an intact,
+/// schema-valid 200 — the detach poisons nothing.
+#[test]
+fn deadline_expired_waiter_does_not_corrupt_co_waiters() {
+    let daemon = Arc::new(Daemon::spawn(&[]));
+
+    let barrier = Arc::new(Barrier::new(2));
+    let (impatient, patient) = std::thread::scope(|scope| {
+        let impatient = {
+            let daemon = Arc::clone(&daemon);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                daemon.post("/run/table2", "{\"quick\":true,\"deadline_ms\":1}")
+            })
+        };
+        let patient = {
+            let daemon = Arc::clone(&daemon);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                daemon.post("/run/table2", "{\"quick\":true}")
+            })
+        };
+        (
+            impatient.join().expect("impatient poster"),
+            patient.join().expect("patient poster"),
+        )
+    });
+
+    // A 1 ms deadline cannot cover a cold 43-benchmark campaign: the
+    // impatient waiter detaches. (It raced the patient one to lead; either
+    // way the run itself keeps executing.)
+    assert_eq!(impatient.0, 504, "{}", impatient.1);
+    assert!(
+        impatient.1.contains("deadline"),
+        "504 should explain the deadline: {}",
+        impatient.1
+    );
+
+    // The co-waiter's response is a complete, uncorrupted report.
+    assert_eq!(patient.0, 200, "{}", patient.1);
+    let parsed: Value = serde_json::from_str(&patient.1).expect("co-waiter response is JSON");
+    let report = parsed.field("report").expect("structured report");
+    assert_eq!(num_field(report, "schema_version"), 1);
+    match report.field("tables").expect("tables present") {
+        Value::Seq(tables) => assert!(!tables.is_empty(), "co-waiter got an empty report"),
+        other => panic!("'tables' is not an array: {other:?}"),
+    }
+
+    // And the daemon is still fully serviceable afterwards.
+    let (status, text) = daemon.post("/run/table2?format=text", "{\"quick\":true}");
+    assert_eq!(status, 200);
+    assert!(text.contains("Table II"), "{text}");
+
+    let daemon = Arc::into_inner(daemon).expect("all posters joined");
+    let code = daemon.sigterm_and_wait(Duration::from_secs(30));
+    assert_eq!(code, 0);
+}

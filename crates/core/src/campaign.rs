@@ -5,7 +5,9 @@
 //! paper's perf-counter experiments on seven physical systems.
 
 use horizon_trace::WorkloadProfile;
-use horizon_uarch::{CoreSimulator, Counters, FleetSimulator, MachineConfig, PowerModel, PowerReport};
+use horizon_uarch::{
+    CoreSimulator, Counters, FleetSimulator, MachineConfig, PowerModel, PowerReport,
+};
 use horizon_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, RwLock};
@@ -172,9 +174,11 @@ impl Campaign {
         profile: &WorkloadProfile,
         machines: &[MachineConfig],
     ) -> Vec<Measurement> {
-        let fleet = FleetSimulator::new(machines)
-            .with_warmup(self.warmup)
-            .run(profile, self.instructions, self.seed);
+        let fleet = FleetSimulator::new(machines).with_warmup(self.warmup).run(
+            profile,
+            self.instructions,
+            self.seed,
+        );
         fleet
             .into_iter()
             .zip(machines)

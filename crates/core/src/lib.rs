@@ -56,6 +56,7 @@ pub mod input_sets;
 pub mod metrics;
 pub mod rate_speed;
 pub mod report;
+pub mod report_v1;
 pub mod sensitivity;
 pub mod similarity;
 pub mod stability;

@@ -1,0 +1,288 @@
+//! Schema-versioned structured reports (`report_v1`).
+//!
+//! Every experiment renders a plain-text report (see [`crate::report`]);
+//! `repro serve` additionally exposes a machine-readable JSON view of the
+//! same content. [`ReportV1`] is that view: it is *derived from the
+//! rendered text* by [`ReportV1::from_text`], so the structured report can
+//! never disagree with the text report, and the `?format=text` path stays
+//! byte-identical to batch stdout by construction.
+//!
+//! # Schema stability
+//!
+//! * `schema_version` is [`REPORT_SCHEMA_VERSION`] and is bumped on any
+//!   breaking field change. [`ReportV1::from_json`] rejects versions it
+//!   does not understand instead of misreading them.
+//! * Consumers must tolerate unknown fields: deserialization looks fields
+//!   up by name and ignores extras, so additive evolution is free.
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the structured report schema. Bumped on breaking changes.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// One rendered table: a header row plus data rows, cells as the exact
+/// strings the text report prints (units and formatting included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportTableV1 {
+    /// The non-empty line immediately preceding the table in the text
+    /// report (a caption like `Table V: …`), empty when the table opens
+    /// the report.
+    pub section: String,
+    /// Column headers, left to right.
+    pub columns: Vec<String>,
+    /// Data rows; each row has exactly `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A representative subset called out by the report (`… (subset: a, b, c)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubsetV1 {
+    /// What the subset covers (e.g. a sub-suite name).
+    pub context: String,
+    /// Member benchmark names.
+    pub members: Vec<String>,
+}
+
+/// A summary error statistic (`average error X%, max Y%`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStatV1 {
+    /// The report context the statistic belongs to (nearest preceding
+    /// caption or subset line).
+    pub context: String,
+    /// Average error, percent.
+    pub average_pct: f64,
+    /// Maximum error, percent.
+    pub max_pct: f64,
+}
+
+/// A structured, schema-versioned experiment report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportV1 {
+    /// Always [`REPORT_SCHEMA_VERSION`] for reports built by this crate.
+    pub schema_version: u32,
+    /// Canonical experiment id (e.g. `table1`).
+    pub experiment: String,
+    /// Report title (the first non-empty line of the text report).
+    pub title: String,
+    /// Every table in the report, in order of appearance.
+    pub tables: Vec<ReportTableV1>,
+    /// Representative subsets named by the report, in order.
+    pub subsets: Vec<SubsetV1>,
+    /// Error statistics named by the report, in order.
+    pub errors: Vec<ErrorStatV1>,
+    /// Remaining non-table lines (captions, scatter art, annotations), in
+    /// order — nothing from the text report is silently dropped.
+    pub notes: Vec<String>,
+}
+
+/// True for the all-dash rule `format_table` prints under its header.
+fn is_separator(line: &str) -> bool {
+    line.len() >= 3 && line.chars().all(|c| c == '-')
+}
+
+/// Splits a rendered table line into cells on runs of 2+ spaces.
+fn split_cells(line: &str) -> Vec<String> {
+    line.split("  ")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parses `average error X%, max Y%` lines.
+fn parse_error_stat(line: &str) -> Option<(f64, f64)> {
+    let rest = line.trim().strip_prefix("average error ")?;
+    let (avg, rest) = rest.split_once("%, max ")?;
+    let max = rest.trim_end().strip_suffix('%')?;
+    Some((avg.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+/// Parses `context (subset: a, b, c)` lines.
+fn parse_subset(line: &str) -> Option<SubsetV1> {
+    let (context, rest) = line.split_once("(subset: ")?;
+    let members = rest.strip_suffix(')')?;
+    Some(SubsetV1 {
+        context: context.trim().to_string(),
+        members: members.split(", ").map(str::to_string).collect(),
+    })
+}
+
+impl ReportV1 {
+    /// Builds the structured view of a rendered text report.
+    ///
+    /// Tables are recognized by `format_table`'s layout (a header line
+    /// followed by an all-dash rule); subset and error callouts by their
+    /// fixed phrasing. Everything else lands in `notes` verbatim, so the
+    /// structured report carries the full content of the text report.
+    pub fn from_text(experiment: &str, text: &str) -> ReportV1 {
+        let lines: Vec<&str> = text.lines().collect();
+        let mut report = ReportV1 {
+            schema_version: REPORT_SCHEMA_VERSION,
+            experiment: experiment.to_string(),
+            title: String::new(),
+            tables: Vec::new(),
+            subsets: Vec::new(),
+            errors: Vec::new(),
+            notes: Vec::new(),
+        };
+        let mut context = String::new();
+        let mut i = 0;
+        while i < lines.len() {
+            let line = lines[i];
+            // A table: `header / ---- / rows…` — the header is the line
+            // *before* the separator.
+            if i + 1 < lines.len() && is_separator(lines[i + 1]) && !line.trim().is_empty() {
+                let columns = split_cells(line);
+                let mut rows = Vec::new();
+                let mut j = i + 2;
+                while j < lines.len() && !lines[j].trim().is_empty() && !is_separator(lines[j]) {
+                    let mut cells = split_cells(lines[j]);
+                    cells.resize(columns.len(), String::new());
+                    rows.push(cells);
+                    j += 1;
+                }
+                report.tables.push(ReportTableV1 {
+                    section: context.clone(),
+                    columns,
+                    rows,
+                });
+                i = j;
+                continue;
+            }
+            if line.trim().is_empty() {
+                i += 1;
+                continue;
+            }
+            if report.title.is_empty() {
+                report.title = line.to_string();
+                context = line.to_string();
+                i += 1;
+                continue;
+            }
+            if let Some(subset) = parse_subset(line) {
+                context = subset.context.clone();
+                report.subsets.push(subset);
+            } else if let Some((average_pct, max_pct)) = parse_error_stat(line) {
+                report.errors.push(ErrorStatV1 {
+                    context: context.clone(),
+                    average_pct,
+                    max_pct,
+                });
+            } else {
+                context = line.to_string();
+            }
+            report.notes.push(line.to_string());
+            i += 1;
+        }
+        report
+    }
+
+    /// Checks the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming both versions when the report was written
+    /// by a different (e.g. future) schema.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version == REPORT_SCHEMA_VERSION {
+            Ok(())
+        } else {
+            Err(format!(
+                "unsupported report schema version {} (this reader understands {})",
+                self.schema_version, REPORT_SCHEMA_VERSION
+            ))
+        }
+    }
+
+    /// Parses a JSON report and enforces the schema-version guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON is malformed or the version is not
+    /// [`REPORT_SCHEMA_VERSION`].
+    pub fn from_json(json: &str) -> Result<ReportV1, String> {
+        let report: ReportV1 = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        report.validate()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::format_table;
+
+    fn sample_text() -> String {
+        let table = format_table(
+            &["Benchmark", "CPI"],
+            &[
+                vec!["600.perlbench_s".into(), "1.12".into()],
+                vec!["605.mcf_s".into(), "2.40".into()],
+            ],
+        );
+        format!(
+            "Table X: sample characterization\n\n{table}\nINT-speed (subset: 605.mcf_s, 625.x264_s)\naverage error 4.2%, max 9.9%\n"
+        )
+    }
+
+    #[test]
+    fn from_text_extracts_title_tables_subsets_and_errors() {
+        let r = ReportV1::from_text("tablex", &sample_text());
+        assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
+        assert_eq!(r.experiment, "tablex");
+        assert_eq!(r.title, "Table X: sample characterization");
+        assert_eq!(r.tables.len(), 1);
+        assert_eq!(r.tables[0].section, "Table X: sample characterization");
+        assert_eq!(r.tables[0].columns, vec!["Benchmark", "CPI"]);
+        assert_eq!(r.tables[0].rows.len(), 2);
+        assert_eq!(r.tables[0].rows[1], vec!["605.mcf_s", "2.40"]);
+        assert_eq!(r.subsets.len(), 1);
+        assert_eq!(r.subsets[0].context, "INT-speed");
+        assert_eq!(r.subsets[0].members, vec!["605.mcf_s", "625.x264_s"]);
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].context, "INT-speed");
+        assert!((r.errors[0].average_pct - 4.2).abs() < 1e-12);
+        assert!((r.errors[0].max_pct - 9.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_row_matches_the_column_count() {
+        let r = ReportV1::from_text("tablex", &sample_text());
+        for table in &r.tables {
+            for row in &table.rows {
+                assert_eq!(row.len(), table.columns.len());
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let r = ReportV1::from_text("tablex", &sample_text());
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back = ReportV1::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unknown_fields_are_tolerated() {
+        let r = ReportV1::from_text("tablex", "Title only\n");
+        let json = serde_json::to_string(&r).unwrap();
+        let extended = json.replacen('{', "{\"added_in_v2\": true, ", 1);
+        let back = ReportV1::from_json(&extended).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let r = ReportV1::from_text("tablex", "Title only\n");
+        let json = serde_json::to_string(&r).unwrap();
+        let bumped = json.replacen(
+            &format!("\"schema_version\":{REPORT_SCHEMA_VERSION}"),
+            &format!("\"schema_version\":{}", REPORT_SCHEMA_VERSION + 1),
+            1,
+        );
+        assert_ne!(bumped, json, "the version field must be present to bump");
+        let err = ReportV1::from_json(&bumped).unwrap_err();
+        assert!(err.contains("unsupported report schema version"), "{err}");
+    }
+}

@@ -130,3 +130,106 @@ proptest! {
         }
     }
 }
+
+mod report_v1_props {
+    use horizon_core::report_v1::{
+        ErrorStatV1, ReportTableV1, ReportV1, SubsetV1, REPORT_SCHEMA_VERSION,
+    };
+    use proptest::prelude::*;
+
+    /// Arbitrary report text cells: letters, digits, punctuation, quotes,
+    /// a backslash, accented characters and a literal newline — the JSON
+    /// layer must escape all of them correctly.
+    const WILD: &str = "[a-zA-Z0-9 ._%()\"\\éñ\n-]{0,12}";
+
+    fn arbitrary_report() -> impl Strategy<Value = ReportV1> {
+        let table = (
+            WILD,
+            proptest::collection::vec(WILD, 0..4),
+            proptest::collection::vec(proptest::collection::vec(WILD, 0..4), 0..3),
+        )
+            .prop_map(|(section, columns, rows)| ReportTableV1 {
+                section,
+                columns,
+                rows,
+            });
+        let subset = (WILD, proptest::collection::vec(WILD, 0..4))
+            .prop_map(|(context, members)| SubsetV1 { context, members });
+        let error =
+            (WILD, -1e9..1e9f64, -1e9..1e9f64).prop_map(|(context, average_pct, max_pct)| {
+                ErrorStatV1 {
+                    context,
+                    average_pct,
+                    max_pct,
+                }
+            });
+        (
+            WILD,
+            WILD,
+            proptest::collection::vec(table, 0..3),
+            proptest::collection::vec(subset, 0..3),
+            proptest::collection::vec(error, 0..3),
+            proptest::collection::vec(WILD, 0..4),
+        )
+            .prop_map(
+                |(experiment, title, tables, subsets, errors, notes)| ReportV1 {
+                    schema_version: REPORT_SCHEMA_VERSION,
+                    experiment,
+                    title,
+                    tables,
+                    subsets,
+                    errors,
+                    notes,
+                },
+            )
+    }
+
+    proptest! {
+        /// serialize → deserialize → identical report, for arbitrary
+        /// content including quotes, backslashes and newlines.
+        #[test]
+        fn report_v1_json_round_trips(report in arbitrary_report()) {
+            let json = serde_json::to_string(&report).unwrap();
+            let back = ReportV1::from_json(&json).unwrap();
+            prop_assert_eq!(back, report);
+        }
+
+        /// `from_text` accepts arbitrary text without panicking and always
+        /// produces a current-schema report whose rows match their table's
+        /// column count.
+        #[test]
+        fn from_text_never_panics_and_keeps_row_shape(text in "[a-zA-Z0-9 ._%()\n-]{0,300}") {
+            let r = ReportV1::from_text("exp", &text);
+            prop_assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
+            prop_assert!(r.validate().is_ok());
+            for table in &r.tables {
+                for row in &table.rows {
+                    prop_assert_eq!(row.len(), table.columns.len());
+                }
+            }
+        }
+
+        /// Tables rendered by `format_table` are recovered cell-for-cell.
+        #[test]
+        fn from_text_recovers_rendered_tables(
+            (columns, rows) in (1..5usize).prop_flat_map(|cols| (
+                proptest::collection::vec("[a-zA-Z0-9_.%]{1,7}", cols..=cols),
+                proptest::collection::vec(
+                    proptest::collection::vec("[a-zA-Z0-9_.%]{1,7}", cols..=cols),
+                    1..4,
+                ),
+            ))
+        ) {
+            let headers: Vec<&str> = columns.iter().map(String::as_str).collect();
+            let text = format!(
+                "Sample title\n\n{}",
+                horizon_core::report::format_table(&headers, &rows)
+            );
+            let r = ReportV1::from_text("exp", &text);
+            prop_assert_eq!(r.tables.len(), 1);
+            prop_assert_eq!(&r.tables[0].columns, &columns);
+            prop_assert_eq!(&r.tables[0].rows, &rows);
+            prop_assert_eq!(&r.tables[0].section, "Sample title");
+        }
+    }
+}

@@ -19,6 +19,15 @@
 //!    optionally, an on-disk JSON cache ([`DiskCache`]), so each unique
 //!    job simulates exactly once per process (and at most once per cache
 //!    lifetime across processes).
+//! 4. **In-flight coalescing** — campaigns running *concurrently* on one
+//!    engine (e.g. overlapping `repro serve` requests) claim their memo
+//!    misses in a shared in-flight table under the memo lock. The first
+//!    claimant of a fingerprint leads and simulates it; later claimants
+//!    follow and receive the leader's published measurement, so
+//!    overlapping campaigns never duplicate work even before anything
+//!    reaches the memo. A leader that dies before publishing fails its
+//!    followers with a clean error — no waiter hangs, no partial memo
+//!    entry ([`Engine::inflight_waiting`] reports live waiters).
 //!
 //! # Determinism
 //!
@@ -38,10 +47,11 @@
 //! opens an `engine.campaign` span with child stage spans
 //! (`engine.expand`, `engine.probe`, `engine.simulate`, `engine.integrate`,
 //! `engine.assemble`) and one `engine.job` span per unique job carrying
-//! `workload` / `machine` / `outcome` (`"memo"`, `"disk"`, or
-//! `"simulated"`) fields; worker-side job spans are explicitly parented to
-//! the campaign span. Counters (`engine.campaigns`, `engine.cells`,
-//! `engine.unique_jobs`, `engine.simulated_jobs`, `engine.memo_hits`,
+//! `workload` / `machine` / `outcome` (`"memo"`, `"disk"`, `"coalesced"`,
+//! or `"simulated"`) fields; worker-side job spans are explicitly parented
+//! to the campaign span. Counters (`engine.campaigns`, `engine.cells`,
+//! `engine.unique_jobs`, `engine.simulated_jobs`, `engine.coalesced_jobs`,
+//! `engine.memo_hits`,
 //! `engine.disk_hits`, `engine.simulated_instructions`,
 //! `engine.simulation_wall_nanos`, `engine.elapsed_nanos`) and histograms
 //! (`engine.queue_wait_ns`, `engine.job_wall_ns`) accumulate alongside.
@@ -60,6 +70,7 @@
 mod cache;
 mod cost;
 mod fingerprint;
+mod inflight;
 mod stats;
 
 pub use cache::{DiskCache, GcReport};
@@ -67,6 +78,7 @@ pub use cost::estimated_cost;
 pub use fingerprint::{Fingerprint, SCHEMA_VERSION};
 pub use stats::{EngineStats, JobTiming};
 
+use crate::inflight::{Claim, FollowerTicket, InflightTable, LeaderGuard};
 use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
 use horizon_telemetry::Recorder;
 use horizon_trace::WorkloadProfile;
@@ -103,6 +115,7 @@ pub struct Engine {
     jobs: AtomicUsize,
     disk: Option<DiskCache>,
     memo: Mutex<HashMap<Fingerprint, Measurement>>,
+    inflight: InflightTable,
     recorder: Arc<Recorder>,
     progress: Option<ProgressCallback>,
 }
@@ -121,6 +134,7 @@ impl Engine {
             jobs: AtomicUsize::new(0),
             disk: None,
             memo: Mutex::new(HashMap::new()),
+            inflight: InflightTable::default(),
             recorder: Arc::new(Recorder::new()),
             progress: None,
         }
@@ -190,6 +204,14 @@ impl Engine {
     /// health endpoint reports.
     pub fn memo_entries(&self) -> usize {
         self.memo.lock().expect("memo lock").len()
+    }
+
+    /// Campaigns' follower jobs currently blocked waiting on another
+    /// campaign's in-flight simulation of the same fingerprint. A health
+    /// endpoint reports this as live coalescing pressure; it is `0`
+    /// whenever no campaigns overlap.
+    pub fn inflight_waiting(&self) -> usize {
+        self.inflight.waiting()
     }
 
     /// Registers a progress callback, invoked once per unique job as it
@@ -276,9 +298,17 @@ impl Engine {
 
         // Phase 2: serve jobs from the memo table, then the disk cache.
         // Cached jobs get their span here, implicitly nested under
-        // engine.probe (itself under engine.campaign).
+        // engine.probe (itself under engine.campaign). Each memo miss is
+        // claimed in the in-flight table *while the memo lock is held*:
+        // publication inserts into the memo before retiring the in-flight
+        // entry, so under the lock every job is either memoized, in
+        // flight (another campaign leads it — we follow), or genuinely
+        // unstarted (we lead it). There is no window in which two
+        // campaigns can both decide to simulate the same fingerprint.
         let probe_span = rec.span("engine.probe");
         let mut resolved: Vec<Option<Measurement>> = vec![None; jobs.len()];
+        let mut leaders: Vec<Option<LeaderGuard<'_>>> = Vec::with_capacity(jobs.len());
+        let mut followers: Vec<(usize, FollowerTicket)> = Vec::new();
         let mut memo_hits = 0u64;
         let mut disk_hits = 0u64;
         {
@@ -292,13 +322,28 @@ impl Engine {
                     span.record("workload", profiles[w].name());
                     span.record("machine", machines[mach].name.as_str());
                     span.record("outcome", "memo");
+                    leaders.push(None);
+                } else {
+                    match self.inflight.claim(fp) {
+                        Claim::Leader(guard) => leaders.push(Some(guard)),
+                        Claim::Follower(ticket) => {
+                            followers.push((id, ticket));
+                            leaders.push(None);
+                        }
+                    }
                 }
             }
         }
+        // Disk hits are published too: a follower waiting on this
+        // fingerprint in another campaign gets fed from here.
         if let Some(disk) = &self.disk {
             for (id, fp) in fingerprints.iter().enumerate() {
-                if resolved[id].is_none() {
+                if leaders[id].is_some() {
                     if let Some(m) = disk.load(fp) {
+                        leaders[id]
+                            .take()
+                            .expect("leader checked above")
+                            .publish(&m, &self.memo);
                         resolved[id] = Some(m);
                         disk_hits += 1;
                         let (w, mach) = jobs[id];
@@ -341,8 +386,10 @@ impl Engine {
             .collect();
         let mut batch_index: HashMap<Fingerprint, usize> = HashMap::new();
         // Per batch: (workload index of the first job, member job ids).
+        // Only jobs this campaign leads are scheduled; followed jobs are
+        // collected from their leaders after the pool drains.
         let mut batches: Vec<(usize, Vec<usize>)> = Vec::new();
-        for id in (0..jobs.len()).filter(|&id| resolved[id].is_none()) {
+        for id in (0..jobs.len()).filter(|&id| leaders[id].is_some()) {
             let w = jobs[id].0;
             match batch_index.entry(Fingerprint::of_profile(campaign, &profiles[w])) {
                 std::collections::hash_map::Entry::Occupied(e) => {
@@ -381,6 +428,16 @@ impl Engine {
         };
         let slots: Vec<OnceLock<(Measurement, u64)>> =
             misses.iter().map(|_| OnceLock::new()).collect();
+        // In-flight guards, batch-major like `slots`. A worker takes a
+        // batch's guards before simulating; if the simulation (or the
+        // progress callback) panics, the unwound guards flip their slots
+        // to failed and every follower in other campaigns gets a clean
+        // error instead of hanging. Guards for batches no worker reached
+        // drop the same way when this frame unwinds.
+        let guards: Vec<Mutex<Option<LeaderGuard<'_>>>> = misses
+            .iter()
+            .map(|&id| Mutex::new(leaders[id].take()))
+            .collect();
         if !batches.is_empty() {
             let simulate_span = rec.span("engine.simulate");
             let cursor = AtomicUsize::new(0);
@@ -394,9 +451,16 @@ impl Engine {
                         }
                         let queue_wait = pool_start.elapsed().as_nanos() as u64;
                         let (w, ids) = &batches[b];
-                        let batch_machines: Vec<MachineConfig> = ids
-                            .iter()
-                            .map(|&id| machines[jobs[id].1].clone())
+                        let batch_machines: Vec<MachineConfig> =
+                            ids.iter().map(|&id| machines[jobs[id].1].clone()).collect();
+                        let batch_guards: Vec<LeaderGuard<'_>> = (0..ids.len())
+                            .map(|k| {
+                                guards[batch_start[b] + k]
+                                    .lock()
+                                    .expect("guard slot")
+                                    .take()
+                                    .expect("each guard is taken once")
+                            })
                             .collect();
                         let job_start = Instant::now();
                         let measurements = campaign.measure_fleet(&profiles[*w], &batch_machines);
@@ -405,8 +469,8 @@ impl Engine {
                         // so per-job accounting sums exactly to the batch.
                         let n = ids.len() as u64;
                         let (share, extra) = (wall / n, wall % n);
-                        for (k, (&id, measurement)) in
-                            ids.iter().zip(measurements).enumerate()
+                        for (k, ((&id, measurement), guard)) in
+                            ids.iter().zip(measurements).zip(batch_guards).enumerate()
                         {
                             let (jw, jm) = jobs[id];
                             let wall_nanos = share + u64::from((k as u64) < extra);
@@ -433,6 +497,15 @@ impl Engine {
                                 &machines[jm],
                                 false,
                             );
+                            // Publish last: anything that panics above
+                            // (simulation, telemetry, the progress
+                            // callback) drops the guard unpublished and
+                            // fails co-waiters instead of feeding them a
+                            // result this campaign never vouched for.
+                            let (m, _) = slots[batch_start[b] + k]
+                                .get()
+                                .expect("slot set just above");
+                            guard.publish(m, &self.memo);
                         }
                     });
                 }
@@ -440,21 +513,46 @@ impl Engine {
             drop(simulate_span);
         }
 
-        // Phase 4: integrate results into memo, disk cache and counters.
+        // Phase 3b: collect followed jobs from their leaders. Waited only
+        // after this campaign's own misses drained, so coalescing never
+        // idles the local pool. A leader that abandoned its job (panic or
+        // terminal error in the other campaign) fails this campaign too —
+        // loudly, with nothing partial memoized.
+        let coalesced = followers.len() as u64;
+        for (id, ticket) in followers {
+            let (w, mach) = jobs[id];
+            match ticket.wait() {
+                Ok(m) => {
+                    let mut span = rec.span("engine.job");
+                    span.set_parent(campaign_id);
+                    span.record("workload", profiles[w].name());
+                    span.record("machine", machines[mach].name.as_str());
+                    span.record("outcome", "coalesced");
+                    drop(span);
+                    resolved[id] = Some(m);
+                    self.emit_progress(&completed, total, &profiles[w], &machines[mach], true);
+                }
+                Err(error) => panic!(
+                    "coalesced job {} on {} failed in its leading campaign: {error}",
+                    profiles[w].name(),
+                    machines[mach].name,
+                ),
+            }
+        }
+
+        // Phase 4: integrate results into the disk cache and counters.
+        // Memo entries were already inserted at publication time (so
+        // co-waiting campaigns could read them); only this campaign's own
+        // simulated jobs are stored to disk.
         let integrate_span = rec.span("engine.integrate");
         let mut simulation_wall_nanos = 0u64;
-        {
-            let mut memo = self.memo.lock().expect("memo lock");
-            for (slot, &id) in misses.iter().enumerate() {
-                let (measurement, wall_nanos) = slots[slot].get().expect("all jobs ran").clone();
-                let fp = &fingerprints[id];
-                if let Some(disk) = &self.disk {
-                    disk.store(fp, &measurement);
-                }
-                memo.insert(fp.clone(), measurement.clone());
-                simulation_wall_nanos += wall_nanos;
-                resolved[id] = Some(measurement);
+        for (slot, &id) in misses.iter().enumerate() {
+            let (measurement, wall_nanos) = slots[slot].get().expect("all jobs ran").clone();
+            if let Some(disk) = &self.disk {
+                disk.store(&fingerprints[id], &measurement);
             }
+            simulation_wall_nanos += wall_nanos;
+            resolved[id] = Some(measurement);
         }
         let window = campaign.instructions + campaign.warmup;
         rec.counter_add("engine.campaigns", 1);
@@ -464,6 +562,7 @@ impl Engine {
         rec.counter_add("engine.fleet_batches", batches.len() as u64);
         rec.counter_add("engine.memo_hits", memo_hits);
         rec.counter_add("engine.disk_hits", disk_hits);
+        rec.counter_add("engine.coalesced_jobs", coalesced);
         rec.counter_add(
             "engine.simulated_instructions",
             misses.len() as u64 * window,

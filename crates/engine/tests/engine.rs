@@ -347,3 +347,115 @@ fn progress_callback_sees_every_job_exactly_once() {
         total
     );
 }
+
+#[test]
+fn concurrent_identical_campaigns_simulate_each_job_once() {
+    use std::sync::{Arc, Barrier};
+
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+    let unique = profiles.len() * machines.len();
+
+    let engine = Arc::new(Engine::new().with_jobs(2));
+    let barrier = Arc::new(Barrier::new(2));
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let barrier = Arc::clone(&barrier);
+                let (campaign, profiles, machines) = (&campaign, &profiles, &machines);
+                scope.spawn(move || {
+                    barrier.wait();
+                    engine.measure_profiles(campaign, profiles, machines)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Whichever way the race resolves — the second campaign coalescing
+    // onto the first's in-flight jobs, or arriving late enough to hit the
+    // memo — each unique job simulates exactly once across both.
+    let stats = engine.stats();
+    assert_eq!(stats.simulated_jobs, unique as u64);
+    assert_eq!(
+        stats.coalesced_jobs + stats.memo_hits,
+        unique as u64,
+        "the non-leading campaign is fully served without simulating"
+    );
+    assert_eq!(engine.inflight_waiting(), 0, "waiter accounting drains");
+
+    // Both campaigns see bit-identical grids.
+    let reference = Engine::new()
+        .with_jobs(1)
+        .measure_profiles(&campaign, &profiles, &machines);
+    for result in &results {
+        assert_eq!(result, &reference);
+    }
+}
+
+#[test]
+fn leader_failure_propagates_a_clean_error_to_every_coalesced_waiter() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    let campaign = campaign();
+    let profiles = profiles();
+    let machines = machines();
+
+    // The leader's progress callback fires after simulation but *before*
+    // the job publishes, so panicking there models a campaign dying with
+    // followers already parked on its in-flight jobs.
+    let (claimed_tx, claimed_rx) = mpsc::channel::<()>();
+    let leader_engine: Arc<Engine> = Arc::new(Engine::new().with_jobs(1).with_progress({
+        let claimed_tx = claimed_tx.clone();
+        move |_| {
+            claimed_tx.send(()).ok();
+            // Give the follower time to claim and park before dying.
+            std::thread::sleep(Duration::from_millis(300));
+            panic!("injected leader fault");
+        }
+    }));
+
+    let follower = {
+        let engine = Arc::clone(&leader_engine);
+        let (campaign, profiles, machines) = (campaign, profiles.clone(), machines.clone());
+        std::thread::spawn(move || {
+            claimed_rx.recv().expect("leader reached its first job");
+            catch_unwind(AssertUnwindSafe(|| {
+                engine.measure_profiles(&campaign, &profiles, &machines)
+            }))
+        })
+    };
+
+    let leader_outcome = catch_unwind(AssertUnwindSafe(|| {
+        leader_engine.measure_profiles(&campaign, &profiles, &machines)
+    }));
+    assert!(
+        leader_outcome.is_err(),
+        "the injected fault unwinds the leader"
+    );
+
+    let follower_outcome = follower.join().expect("follower thread");
+    let payload = follower_outcome.expect_err("followers of a dead leader fail too");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .unwrap_or_default()
+        });
+    assert!(
+        message.contains("abandoned") || message.contains("leader"),
+        "follower failure names the coalesced leader: {message}"
+    );
+
+    // No hang, no partial state: nothing was memoized and no waiter is
+    // left parked.
+    assert_eq!(leader_engine.memo_entries(), 0, "no partial memo entry");
+    assert_eq!(leader_engine.inflight_waiting(), 0, "waiters drained");
+}

@@ -1,7 +1,7 @@
 //! JSONL trace sink: one event per line, deterministic field order.
 //!
-//! Line order is fixed (meta, then spans by id, then counters, histograms
-//! and phases in name order) and every map is emitted in a fixed key
+//! Line order is fixed (meta, then spans by id, then counters, gauges,
+//! histograms and phases in name order) and every map is emitted in a fixed key
 //! order, so two traces of the same run shape differ only in ids, thread
 //! ids and timings — `jq`-friendly and safely diffable.
 
@@ -60,6 +60,7 @@ fn histogram_event(kind: &str, name: &str, h: &crate::Histogram) -> Value {
 /// * `{"type":"span","id":…,"parent":…,"name":…,"thread":…,"start_ns":…,
 ///   "dur_ns":…,"fields":{…}}` — one per retained span, ascending id.
 /// * `{"type":"counter","name":…,"value":…}` — one per counter.
+/// * `{"type":"gauge","name":…,"value":…}` — one per gauge (current level).
 /// * `{"type":"histogram"|"phase","name":…,"count":…,"sum":…,"min":…,
 ///   "max":…,"buckets":[[le,count],…],"overflow":…}` — explicit
 ///   histograms, then per-span-name wall-time aggregates.
@@ -111,6 +112,16 @@ pub fn write_trace(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Re
             ]),
         )?;
     }
+    for (name, value) in &snapshot.gauges {
+        write_event(
+            out,
+            Value::Map(vec![
+                ("type".into(), Value::Str("gauge".into())),
+                ("name".into(), Value::Str((*name).into())),
+                ("value".into(), num(value)),
+            ]),
+        )?;
+    }
     for (name, h) in &snapshot.histograms {
         write_event(out, histogram_event("histogram", name, h))?;
     }
@@ -136,6 +147,7 @@ mod tests {
             job.record("cached", false);
         }
         r.counter_add("memo_hits", 2);
+        r.gauge_add("active_runs", 1);
         r.histogram_record("queue_wait_ns", 1500);
         let mut buf = Vec::new();
         write_trace(&r.snapshot(), &mut buf).unwrap();
@@ -178,6 +190,8 @@ mod tests {
         let text = sample_trace();
         assert!(text.contains("\"counter\""));
         assert!(text.contains("\"memo_hits\""));
+        assert!(text.contains("\"gauge\""));
+        assert!(text.contains("\"active_runs\""));
         assert!(text.contains("\"histogram\""));
         assert!(text.contains("\"queue_wait_ns\""));
         assert!(text.contains("\"phase\""));

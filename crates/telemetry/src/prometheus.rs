@@ -65,6 +65,12 @@ pub fn write_prometheus(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> i
         writeln!(out, "{metric} {value}")?;
     }
 
+    for (name, value) in &snapshot.gauges {
+        let metric = format!("horizon_{}", sanitize(name));
+        writeln!(out, "# TYPE {metric} gauge")?;
+        writeln!(out, "{metric} {value}")?;
+    }
+
     for (name, h) in &snapshot.histograms {
         let metric = format!("horizon_{}", sanitize(name));
         writeln!(out, "# TYPE {metric} histogram")?;
@@ -91,6 +97,8 @@ mod tests {
         let r = Arc::new(Recorder::new());
         r.counter_add("engine.memo_hits", 5);
         r.counter_add("engine.disk_hits", 1);
+        r.gauge_add("serve.active_runs", 2);
+        r.gauge_add("serve.active_runs", -1);
         for v in [800, 3000, 70_000] {
             r.histogram_record("engine.queue_wait_ns", v);
         }
@@ -109,6 +117,13 @@ mod tests {
         assert!(text.contains("horizon_engine_memo_hits 5"));
         assert!(text.contains("horizon_engine_disk_hits 1"));
         assert!(!text.contains("engine.memo_hits"), "names are sanitized");
+    }
+
+    #[test]
+    fn gauges_are_typed_gauge_and_carry_levels() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_serve_active_runs gauge"));
+        assert!(text.contains("horizon_serve_active_runs 1"));
     }
 
     #[test]

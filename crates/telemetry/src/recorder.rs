@@ -77,6 +77,7 @@ struct State {
     spans: Vec<SpanRecord>,
     dropped_spans: u64,
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
     histograms: BTreeMap<&'static str, Histogram>,
     /// Wall-time histogram per span name; fed on every span close, so
     /// phase totals stay exact even past the span cap.
@@ -192,6 +193,38 @@ impl Recorder {
         *state.counters.entry(name).or_insert(0) += delta;
     }
 
+    /// Adds `delta` (possibly negative) to a named gauge. Unlike counters,
+    /// gauges track *current* levels — in-flight runs, queue depth — and
+    /// move both ways.
+    pub fn gauge_add(&self, name: &'static str, delta: i64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state");
+        *state.gauges.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets a named gauge to an absolute level.
+    pub fn gauge_set(&self, name: &'static str, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state");
+        state.gauges.insert(name, value);
+    }
+
+    /// Current level of one named gauge (0 when never touched); as cheap
+    /// as [`Recorder::counter_value`].
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.state
+            .lock()
+            .expect("telemetry state")
+            .gauges
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Records one sample into a named histogram.
     pub fn histogram_record(&self, name: &'static str, value: u64) {
         if !self.enabled {
@@ -221,6 +254,7 @@ impl Recorder {
             spans: state.spans.clone(),
             dropped_spans: state.dropped_spans,
             counters: state.counters.clone(),
+            gauges: state.gauges.clone(),
             histograms: state.histograms.clone(),
             span_wall: state.span_wall.clone(),
         }
@@ -433,6 +467,28 @@ mod tests {
         r.counter_add("serve.requests", 1);
         let second = r.prometheus_text();
         assert!(second.contains("horizon_serve_requests 4"), "{second}");
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_reset_clears() {
+        let r = Arc::new(Recorder::new());
+        r.gauge_add("g", 3);
+        r.gauge_add("g", -2);
+        assert_eq!(r.gauge_value("g"), 1);
+        r.gauge_set("g", 7);
+        assert_eq!(r.gauge_value("g"), 7);
+        assert_eq!(r.snapshot().gauge("g"), 7);
+        assert_eq!(r.gauge_value("untouched"), 0);
+        r.reset();
+        assert_eq!(r.gauge_value("g"), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_gauges() {
+        let r = Arc::new(Recorder::disabled());
+        r.gauge_add("g", 5);
+        r.gauge_set("g", 9);
+        assert!(r.snapshot().gauges.is_empty());
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub struct TelemetrySnapshot {
     pub dropped_spans: u64,
     /// Named monotonic counters.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Named two-way gauges (current levels, e.g. in-flight runs).
+    pub gauges: BTreeMap<&'static str, i64>,
     /// Named sample histograms.
     pub histograms: BTreeMap<&'static str, Histogram>,
     /// Per-span-name wall-time histograms (exact even past the span cap).
@@ -82,6 +84,11 @@ impl TelemetrySnapshot {
     /// A counter's value (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's current level (0 when never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// A histogram by name.

@@ -43,9 +43,9 @@
 use horizon_trace::{Instruction, Kind, TraceGenerator, WorkloadProfile};
 
 use crate::branch::{BranchPredictor, PredictorKind};
+use crate::cache::Cache;
 use crate::cache::CacheConfig;
 use crate::counters::Counters;
-use crate::cache::Cache;
 use crate::hierarchy::{AccessKind, DataFront, HierarchyConfig, L2Back, PrefetchConfig};
 use crate::machine::MachineConfig;
 use crate::simulator::PREWARM_LIMIT;
@@ -329,9 +329,8 @@ impl FleetState {
                 dtlb_group: dtlb_keys.iter().position(|k| *k == t.l1d).unwrap(),
             })
             .collect();
-        let min_shift = |it: &mut dyn Iterator<Item = u64>| {
-            it.map(|b| b.trailing_zeros()).min().unwrap_or(0)
-        };
+        let min_shift =
+            |it: &mut dyn Iterator<Item = u64>| it.map(|b| b.trailing_zeros()).min().unwrap_or(0);
         FleetState {
             fetch_miss: vec![false; l1i_keys.len()],
             data_out: vec![(0, 0); data_keys.len()],
@@ -785,7 +784,9 @@ mod tests {
         for (c, m) in fleet.iter().zip(&machines) {
             assert_eq!(
                 *c,
-                CoreSimulator::new(m).with_warmup(10_000).run(&p, 60_000, 11),
+                CoreSimulator::new(m)
+                    .with_warmup(10_000)
+                    .run(&p, 60_000, 11),
                 "machine {}",
                 m.name
             );

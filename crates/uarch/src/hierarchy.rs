@@ -319,8 +319,9 @@ impl L2Back {
 /// separately even though the L2 is physically unified — the side is the
 /// side of the L1 that missed. This type keeps the same books.
 ///
-/// Internally this is an [`L1Front`] (split L1s + prefetcher) feeding an
-/// [`L2Back`] (shared levels); the fleet kernel recombines the same halves
+/// Internally this is a private `L1Front` (split L1s + prefetcher) feeding
+/// a private `L2Back` (shared levels); the fleet kernel recombines the same
+/// halves
 /// across machines, so both paths execute identical structure code.
 #[derive(Debug, Clone)]
 pub struct MemoryHierarchy {

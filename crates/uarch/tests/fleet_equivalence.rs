@@ -18,11 +18,11 @@ use proptest::prelude::*;
 /// memory footprints from 64 KiB up to 16 MiB.
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        0.05..0.35f64,                   // loads
-        0.01..0.15f64,                   // stores
-        0.05..0.25f64,                   // branches
-        0.0..0.15f64, // fp
-        16u32..24,    // log2 primary region bytes
+        0.05..0.35f64, // loads
+        0.01..0.15f64, // stores
+        0.05..0.25f64, // branches
+        0.0..0.15f64,  // fp
+        16u32..24,     // log2 primary region bytes
         // Optional second (streaming) region.
         prop_oneof![Just(None), (18u32..22).prop_map(Some)],
     )
