@@ -4,18 +4,24 @@
 //! repro <experiment> [flags]
 //! repro all [flags]
 //! repro list
-//! repro cache-gc --cache-dir DIR [--max-entries N]
+//! repro cache-gc --cache-dir DIR [--max-entries N] [--max-trace-bytes N]
 //! repro serve [--addr HOST:PORT] [flags]
 //!
 //! flags:
 //!   --quick             reduced-scale config (3 machines, short windows)
 //!   --jobs <N>          worker threads (overrides HORIZON_JOBS)
-//!   --cache-dir <DIR>   persist measurements to an on-disk cache
+//!   --cache-dir <DIR>   persist measurements to an on-disk cache (also
+//!                       enables a packed trace store at DIR/traces)
+//!   --trace-store <DIR> persist packed instruction traces at DIR
+//!                       (overrides the DIR/traces default)
+//!   --no-trace-store    disable the trace store entirely
 //!   --stats             print engine statistics and the per-phase
 //!                       wall-clock table to stderr when done
 //!   --trace-out <FILE>  write the run's telemetry trace as JSONL
 //!   --metrics-out <FILE> write counters/histograms in Prometheus text form
-//!   --max-entries <N>   cache-gc: entries to keep (default 1024)
+//!   --max-entries <N>   cache-gc: measurement entries to keep (default 1024)
+//!   --max-trace-bytes <N>  cache-gc: trace-store byte budget
+//!                       (default 268435456 = 256 MiB)
 //!   --addr <HOST:PORT>  serve: bind address (default 127.0.0.1:7878)
 //!   --workers <N>       serve: request worker threads
 //!   --queue-cap <N>     serve: queued connections beyond busy workers
@@ -33,7 +39,7 @@ use std::sync::Arc;
 
 use horizon_bench::serve::{ServeOptions, Server};
 use horizon_bench::{find_experiment, run_experiment, ReproConfig, REGISTRY};
-use horizon_engine::{DiskCache, Engine, EngineStats};
+use horizon_engine::{DiskCache, Engine, EngineStats, TraceStore};
 use horizon_telemetry::Recorder;
 use std::time::Duration;
 
@@ -42,6 +48,9 @@ struct Options {
     quick: bool,
     jobs: Option<usize>,
     cache_dir: Option<String>,
+    trace_store: Option<String>,
+    no_trace_store: bool,
+    max_trace_bytes: Option<u64>,
     stats: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -78,6 +87,9 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         quick: false,
         jobs: None,
         cache_dir: None,
+        trace_store: None,
+        no_trace_store: false,
+        max_trace_bytes: None,
         stats: false,
         trace_out: None,
         metrics_out: None,
@@ -112,6 +124,16 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
                 opts.jobs = Some(n);
             }
             "--cache-dir" => opts.cache_dir = Some(value("--cache-dir")?),
+            "--trace-store" => opts.trace_store = Some(value("--trace-store")?),
+            "--no-trace-store" => opts.no_trace_store = true,
+            "--max-trace-bytes" => {
+                let v = value("--max-trace-bytes")?;
+                let n = v
+                    .parse::<u64>()
+                    .ok()
+                    .ok_or(ParseError::BadValue("--max-trace-bytes", v))?;
+                opts.max_trace_bytes = Some(n);
+            }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--max-entries" => {
@@ -170,17 +192,23 @@ const SUBCOMMANDS: &str = "all, list, serve, cache-gc, help";
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] \
-         [--stats] [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20      repro cache-gc --cache-dir DIR [--max-entries N]\n\
+         [--trace-store DIR] [--no-trace-store] [--stats] [--trace-out FILE] \
+         [--metrics-out FILE]\n\
+         \x20      repro cache-gc --cache-dir DIR [--max-entries N] [--max-trace-bytes N]\n\
          \x20      repro serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--request-timeout-ms N] [--jobs N] [--cache-dir DIR]"
+         [--request-timeout-ms N] [--jobs N] [--cache-dir DIR] [--trace-store DIR]"
     );
     eprintln!("subcommands: {SUBCOMMANDS}");
     let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
     eprintln!("experiments: {}", ids.join(", "));
 }
 
-/// Prunes the on-disk cache down to `max_entries` LRU entries.
+/// The trace-store byte budget `cache-gc` prunes to when
+/// `--max-trace-bytes` is not given: 256 MiB.
+const DEFAULT_MAX_TRACE_BYTES: u64 = 256 << 20;
+
+/// Prunes the on-disk cache down to `max_entries` LRU entries, and the
+/// trace store (if one is in play) down to `--max-trace-bytes`.
 fn run_cache_gc(opts: &Options) -> u8 {
     let Some(dir) = &opts.cache_dir else {
         eprintln!("error: cache-gc requires --cache-dir");
@@ -194,19 +222,60 @@ fn run_cache_gc(opts: &Options) -> u8 {
             return 1;
         }
     };
-    match cache.gc(max_entries) {
-        Ok(report) => {
-            println!(
-                "cache-gc: examined {} entries, removed {}, reclaimed {} bytes, retained {}",
-                report.examined, report.removed, report.reclaimed_bytes, report.retained
-            );
-            0
-        }
+    let mut report = match cache.gc(max_entries) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("error: cache gc failed for '{dir}': {e}");
-            1
+            return 1;
+        }
+    };
+    println!(
+        "cache-gc: examined {} entries, removed {}, reclaimed {} bytes, retained {}",
+        report.examined, report.removed, report.reclaimed_bytes, report.retained
+    );
+
+    // Prune the trace store too: an explicit --trace-store DIR always, the
+    // implicit <cache-dir>/traces only when it exists (so a gc pass never
+    // conjures an empty store directory).
+    let trace_dir = match (&opts.trace_store, opts.no_trace_store) {
+        (_, true) => None,
+        (Some(dir), _) => Some(std::path::PathBuf::from(dir)),
+        (None, _) => {
+            let implicit = std::path::Path::new(dir).join("traces");
+            implicit.is_dir().then_some(implicit)
+        }
+    };
+    if let Some(trace_dir) = trace_dir {
+        let store = match TraceStore::open(&trace_dir) {
+            Ok(store) => store,
+            Err(e) => {
+                eprintln!(
+                    "error: cannot open trace store '{}': {e}",
+                    trace_dir.display()
+                );
+                return 1;
+            }
+        };
+        match store.gc(opts.max_trace_bytes.unwrap_or(DEFAULT_MAX_TRACE_BYTES)) {
+            Ok(trace) => {
+                report.absorb_trace(&trace);
+                println!(
+                    "cache-gc: examined {} traces, removed {}, reclaimed {} bytes, \
+                     retained {} ({} bytes)",
+                    report.trace_examined,
+                    report.trace_removed,
+                    report.trace_reclaimed_bytes,
+                    report.trace_retained,
+                    report.trace_retained_bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("error: trace gc failed for '{}': {e}", trace_dir.display());
+                return 1;
+            }
         }
     }
+    0
 }
 
 /// Runs the persistent daemon until SIGTERM/SIGINT, then drains.
@@ -305,6 +374,30 @@ fn main() -> ExitCode {
             Ok(engine) => engine,
             Err(e) => {
                 eprintln!("error: cannot open cache dir '{dir}': {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    if opts.no_trace_store && opts.trace_store.is_some() {
+        eprintln!("error: '--no-trace-store' conflicts with '--trace-store'");
+        return ExitCode::from(2);
+    }
+    // The trace store rides along with the cache by default: --cache-dir D
+    // implies a store at D/traces, --trace-store overrides the location,
+    // --no-trace-store turns it off. cache-gc manages the store itself,
+    // so the engine skips attaching (and creating) it there.
+    let trace_dir = match (&opts.trace_store, &opts.cache_dir) {
+        _ if opts.no_trace_store => None,
+        _ if opts.target.as_deref() == Some("cache-gc") => None,
+        (Some(dir), _) => Some(std::path::PathBuf::from(dir)),
+        (None, Some(cache)) => Some(std::path::Path::new(cache).join("traces")),
+        (None, None) => None,
+    };
+    if let Some(dir) = trace_dir {
+        engine = match engine.with_trace_store(&dir) {
+            Ok(engine) => engine,
+            Err(e) => {
+                eprintln!("error: cannot open trace store '{}': {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         };

@@ -14,7 +14,7 @@
 //! | `GET /experiments` | the experiment registry as JSON |
 //! | `POST /run/{experiment}[?format=json\|text]` | run one experiment; JSON body for window/jobs/quick options |
 //! | `GET /metrics` | live Prometheus text exposition of the shared recorder |
-//! | `POST /cache/gc` | LRU-prune the on-disk cache ([`horizon_engine::GcReport`] JSON) |
+//! | `POST /cache/gc` | LRU-prune the on-disk cache and trace store ([`horizon_engine::GcReport`] JSON; `max_entries` / `max_trace_bytes` body options) |
 //!
 //! # Reports
 //!
@@ -553,45 +553,74 @@ fn experiments() -> Response {
     Response::json(200, to_json(&Value::Seq(list)))
 }
 
-/// `POST /cache/gc`: LRU-prune the daemon's disk cache.
+/// `POST /cache/gc`: LRU-prune the daemon's disk cache and trace store.
 fn cache_gc(state: &ServerState, request: &Request) -> Response {
-    let Some(cache) = state.engine.cache() else {
+    let (cache, traces) = (state.engine.cache(), state.engine.trace_store());
+    if cache.is_none() && traces.is_none() {
         return Response::error(409, "no --cache-dir configured for this daemon");
-    };
-    let max_entries = match parse_gc_options(request) {
-        Ok(n) => n,
+    }
+    let opts = match parse_gc_options(request) {
+        Ok(opts) => opts,
         Err(e) => return Response::error(e.status, &e.message),
     };
-    match cache.gc(max_entries) {
-        Ok(report) => match serde_json::to_string(&report) {
-            Ok(body) => Response::json(200, body),
-            Err(e) => Response::error(500, &format!("cannot serialize gc report: {e}")),
-        },
-        Err(e) => Response::error(500, &format!("cache gc failed: {e}")),
+    let mut report = horizon_engine::GcReport::default();
+    if let Some(cache) = cache {
+        report = match cache.gc(opts.max_entries) {
+            Ok(report) => report,
+            Err(e) => return Response::error(500, &format!("cache gc failed: {e}")),
+        };
+    }
+    if let Some(store) = traces {
+        match store.gc(opts.max_trace_bytes) {
+            Ok(trace) => report.absorb_trace(&trace),
+            Err(e) => return Response::error(500, &format!("trace gc failed: {e}")),
+        }
+    }
+    match serde_json::to_string(&report) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::error(500, &format!("cannot serialize gc report: {e}")),
     }
 }
 
-fn parse_gc_options(request: &Request) -> Result<usize, HttpError> {
+struct GcOptions {
+    max_entries: usize,
+    max_trace_bytes: u64,
+}
+
+impl Default for GcOptions {
+    fn default() -> Self {
+        GcOptions {
+            max_entries: 1024,
+            // Mirrors the CLI's `cache-gc --max-trace-bytes` default.
+            max_trace_bytes: 256 << 20,
+        }
+    }
+}
+
+fn parse_gc_options(request: &Request) -> Result<GcOptions, HttpError> {
+    let mut opts = GcOptions::default();
     if request.body.is_empty() {
-        return Ok(1024);
+        return Ok(opts);
     }
     let value: Value = serde_json::from_str(request.body_str()?)
         .map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))?;
     let Value::Map(entries) = value else {
         return Err(HttpError::new(400, "body must be a JSON object"));
     };
-    let mut max_entries = 1024usize;
     for (key, value) in &entries {
         match key.as_str() {
             "max_entries" => {
-                max_entries = parse_u64(value, "max_entries")? as usize;
+                opts.max_entries = parse_u64(value, "max_entries")? as usize;
+            }
+            "max_trace_bytes" => {
+                opts.max_trace_bytes = parse_u64(value, "max_trace_bytes")?;
             }
             other => {
                 return Err(HttpError::new(400, format!("unknown option '{other}'")));
             }
         }
     }
-    Ok(max_entries)
+    Ok(opts)
 }
 
 /// Per-request run options, mirroring the batch CLI flags.

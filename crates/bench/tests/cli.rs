@@ -256,6 +256,99 @@ fn cache_gc_prunes_and_reports() {
 }
 
 #[test]
+fn trace_store_replays_across_processes_and_gc_prunes_it() {
+    let dir = scratch_dir("trace-store");
+    let cache = dir.join("cache");
+    let store = cache.join("traces");
+
+    // Cold run: --cache-dir implies a trace store at <cache-dir>/traces;
+    // every batch misses and writes a packed trace through.
+    let out = run(&[
+        "table1",
+        "--quick",
+        "--stats",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let cold_report = String::from_utf8(out.stdout).unwrap();
+    let cold_stats = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        cold_stats.contains("trace store:     0 hits"),
+        "stats: {cold_stats}"
+    );
+    assert!(cold_stats.contains("B/inst"), "stats: {cold_stats}");
+    let traces = || {
+        std::fs::read_dir(&store)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "trace"))
+            .count()
+    };
+    let written = traces();
+    assert!(written > 0, "store populated ({written} traces)");
+
+    // Warm run in a fresh process with --trace-store only (no measurement
+    // cache): every batch must simulate again, and each one replays a
+    // stored trace instead of re-expanding it.
+    let out = run(&[
+        "table1",
+        "--quick",
+        "--stats",
+        "--trace-store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let warm_report = String::from_utf8(out.stdout).unwrap();
+    let warm_stats = String::from_utf8(out.stderr).unwrap();
+    assert_eq!(cold_report, warm_report, "replay changed the report");
+    assert!(
+        warm_stats.contains(&format!("trace store:     {written} hits, 0 misses")),
+        "stats: {warm_stats}"
+    );
+
+    // --no-trace-store really disables the store: no counters appear.
+    let out = run(&["table1", "--quick", "--stats", "--no-trace-store"]);
+    assert!(out.status.success());
+    let off_stats = String::from_utf8(out.stderr).unwrap();
+    assert!(!off_stats.contains("trace store:"), "stats: {off_stats}");
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        cold_report,
+        "disabling the store changed the report"
+    );
+
+    // The flags conflict.
+    let out = run(&[
+        "table1",
+        "--quick",
+        "--trace-store",
+        store.to_str().unwrap(),
+        "--no-trace-store",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // cache-gc prunes the implicit store down to a byte budget; budget 0
+    // clears it.
+    let out = run(&[
+        "cache-gc",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--max-trace-bytes",
+        "0",
+    ]);
+    assert!(out.status.success());
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        report.contains(&format!("examined {written} traces, removed {written}")),
+        "unexpected report: {report}"
+    );
+    assert_eq!(traces(), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_flags_and_experiments_are_rejected() {
     let out = run(&["table1", "--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

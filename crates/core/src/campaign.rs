@@ -189,6 +189,31 @@ impl Campaign {
             .collect()
     }
 
+    /// [`Campaign::measure_fleet`] with the instruction stream supplied by
+    /// the caller — the replay entry point. The source must reproduce the
+    /// stream `TraceGenerator::new(profile, self.seed)` would expand (e.g.
+    /// a packed trace from `horizon-tracestore`) and must yield at least
+    /// `self.warmup + self.instructions` items; measurements are then
+    /// bit-identical to [`Campaign::measure_fleet`].
+    pub fn measure_fleet_trace(
+        &self,
+        profile: &WorkloadProfile,
+        machines: &[MachineConfig],
+        source: impl Iterator<Item = horizon_trace::Instruction>,
+    ) -> Vec<Measurement> {
+        let fleet = FleetSimulator::new(machines)
+            .with_warmup(self.warmup)
+            .run_trace(profile, self.instructions, source);
+        fleet
+            .into_iter()
+            .zip(machines)
+            .map(|(counters, machine)| {
+                let power = PowerModel::for_machine(machine).estimate(&counters, machine);
+                Measurement { counters, power }
+            })
+            .collect()
+    }
+
     /// Simulates a single (workload, machine) cell — the primitive every
     /// backend is built from. Fully deterministic: the result depends only
     /// on `(profile, machine, instructions, warmup, seed)`.

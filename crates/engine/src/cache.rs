@@ -27,7 +27,8 @@ struct CacheEntry {
     measurement: Measurement,
 }
 
-/// Result of one [`DiskCache::gc`] pass. Serializable so the `repro
+/// Result of one [`DiskCache::gc`] pass, optionally combined with a trace
+/// store pass ([`GcReport::absorb_trace`]). Serializable so the `repro
 /// serve` daemon can return it as a JSON response body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct GcReport {
@@ -39,6 +40,28 @@ pub struct GcReport {
     pub reclaimed_bytes: u64,
     /// Entries left in the cache.
     pub retained: u64,
+    /// Trace files present before the trace-store pass (zero when no
+    /// trace store was pruned).
+    pub trace_examined: u64,
+    /// Trace files deleted.
+    pub trace_removed: u64,
+    /// Bytes freed by trace deletions.
+    pub trace_reclaimed_bytes: u64,
+    /// Trace files left in the store.
+    pub trace_retained: u64,
+    /// Bytes still held by the retained trace files.
+    pub trace_retained_bytes: u64,
+}
+
+impl GcReport {
+    /// Folds a trace-store GC pass into this report.
+    pub fn absorb_trace(&mut self, trace: &horizon_tracestore::TraceGc) {
+        self.trace_examined += trace.examined;
+        self.trace_removed += trace.removed;
+        self.trace_reclaimed_bytes += trace.reclaimed_bytes;
+        self.trace_retained += trace.retained;
+        self.trace_retained_bytes += trace.retained_bytes;
+    }
 }
 
 /// A directory of cached measurements.
@@ -306,6 +329,7 @@ mod tests {
                 removed: 0,
                 reclaimed_bytes: 0,
                 retained: 2,
+                ..GcReport::default()
             }
         );
         for (fp, _) in &entries {

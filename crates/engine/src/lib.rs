@@ -55,6 +55,10 @@
 //! `engine.disk_hits`, `engine.simulated_instructions`,
 //! `engine.simulation_wall_nanos`, `engine.elapsed_nanos`) and histograms
 //! (`engine.queue_wait_ns`, `engine.job_wall_ns`) accumulate alongside.
+//! With a trace store attached ([`Engine::with_trace_store`]), fleet
+//! batches additionally account `tracestore.hits`, `tracestore.misses`,
+//! `tracestore.bytes_read`, `tracestore.bytes_written`, and
+//! `tracestore.instructions_written`.
 //! [`EngineStats`] is *derived* from this recorder — see
 //! [`EngineStats::from_snapshot`] — so the trace and the stats can never
 //! disagree. Pass a shared recorder with [`Engine::with_recorder`] (the
@@ -77,11 +81,16 @@ pub use cache::{DiskCache, GcReport};
 pub use cost::estimated_cost;
 pub use fingerprint::{Fingerprint, SCHEMA_VERSION};
 pub use stats::{EngineStats, JobTiming};
+// The trace-store types a CLI needs to manage the store the engine reads
+// and writes (GC passes, direct inspection), re-exported so callers don't
+// grow their own `horizon-tracestore` dependency.
+pub use horizon_tracestore::{TraceGc, TraceKey, TraceStore};
 
 use crate::inflight::{Claim, FollowerTicket, InflightTable, LeaderGuard};
 use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
 use horizon_telemetry::Recorder;
-use horizon_trace::WorkloadProfile;
+use horizon_trace::{Instruction, TraceGenerator, WorkloadProfile};
+use horizon_tracestore::PendingTrace;
 use horizon_uarch::MachineConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +123,7 @@ pub struct Engine {
     /// guarantees the setting only affects wall clock, never results.
     jobs: AtomicUsize,
     disk: Option<DiskCache>,
+    traces: Option<TraceStore>,
     memo: Mutex<HashMap<Fingerprint, Measurement>>,
     inflight: InflightTable,
     recorder: Arc<Recorder>,
@@ -133,6 +143,7 @@ impl Engine {
         Engine {
             jobs: AtomicUsize::new(0),
             disk: None,
+            traces: None,
             memo: Mutex::new(HashMap::new()),
             inflight: InflightTable::default(),
             recorder: Arc::new(Recorder::new()),
@@ -174,6 +185,29 @@ impl Engine {
     pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
         self.disk = Some(DiskCache::open(dir)?);
         Ok(self)
+    }
+
+    /// Attaches a content-addressed trace store rooted at `dir`: fleet
+    /// batches replay stored instruction streams instead of re-expanding
+    /// them, and write packed traces through on a miss. Strictly a
+    /// wall-clock optimization — replay is bit-identical to regeneration
+    /// (`horizon-tracestore`'s equivalence gates), so results never depend
+    /// on store state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be
+    /// created.
+    pub fn with_trace_store(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.traces = Some(TraceStore::open(dir)?);
+        Ok(self)
+    }
+
+    /// The attached trace store, if [`Engine::with_trace_store`] configured
+    /// one. Long-lived holders (the `repro serve` daemon) use this to run
+    /// GC passes against the same store the executor reads and writes.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.traces.as_ref()
     }
 
     /// Replaces the engine's telemetry recorder — typically with one that
@@ -463,7 +497,8 @@ impl Engine {
                             })
                             .collect();
                         let job_start = Instant::now();
-                        let measurements = campaign.measure_fleet(&profiles[*w], &batch_machines);
+                        let measurements =
+                            self.measure_batch(campaign, &profiles[*w], &batch_machines);
                         let wall = job_start.elapsed().as_nanos() as u64;
                         // Attribute the batch's wall clock across its jobs
                         // so per-job accounting sums exactly to the batch.
@@ -595,6 +630,56 @@ impl Engine {
         CampaignResult::from_grid(workload_names, machine_names, grid)
     }
 
+    /// Measures one fleet batch, routing the instruction stream through
+    /// the trace store when one is attached: a stored `(profile, seed,
+    /// window)` trace is replayed instead of re-expanded, and a miss
+    /// tees the freshly generated stream into the store for every later
+    /// batch (any machine set, any campaign, any process) that shares it.
+    /// Replay is bit-identical to regeneration, so this can only change
+    /// wall clock, never measurements. Store failures at any point fall
+    /// back to plain generation.
+    fn measure_batch(
+        &self,
+        campaign: &Campaign,
+        profile: &WorkloadProfile,
+        machines: &[MachineConfig],
+    ) -> Vec<Measurement> {
+        let Some(store) = &self.traces else {
+            return campaign.measure_fleet(profile, machines);
+        };
+        let window = campaign.warmup + campaign.instructions;
+        let key = TraceKey::of(profile, campaign.seed, window);
+        if let Some(reader) = store.load(&key) {
+            if reader.instructions() == window {
+                self.recorder.counter_add("tracestore.hits", 1);
+                self.recorder
+                    .counter_add("tracestore.bytes_read", reader.packed_bytes());
+                return campaign.measure_fleet_trace(profile, machines, reader.iter());
+            }
+        }
+        self.recorder.counter_add("tracestore.misses", 1);
+        let Ok(mut pending) = store.begin(&key, window) else {
+            // Store directory unusable (permissions, disk full): simulate
+            // without it rather than failing the campaign.
+            return campaign.measure_fleet(profile, machines);
+        };
+        let mut ok = true;
+        let source = Tee {
+            inner: TraceGenerator::new(profile, campaign.seed).take(window as usize),
+            sink: &mut pending,
+            ok: &mut ok,
+        };
+        let measurements = campaign.measure_fleet_trace(profile, machines, source);
+        if ok {
+            if let Ok(bytes) = pending.publish() {
+                self.recorder.counter_add("tracestore.bytes_written", bytes);
+                self.recorder
+                    .counter_add("tracestore.instructions_written", window);
+            }
+        }
+        measurements
+    }
+
     fn emit_progress(
         &self,
         completed: &AtomicUsize,
@@ -624,5 +709,28 @@ impl CampaignExecutor for Engine {
         machines: &[MachineConfig],
     ) -> CampaignResult {
         Engine::measure_profiles(self, campaign, profiles, machines)
+    }
+}
+
+/// Write-through adapter: forwards a generator stream to the simulator
+/// while packing every instruction into a pending trace. An encoder or
+/// I/O failure flips `ok` and stops writing, but the simulation keeps
+/// streaming unaffected — the store is best-effort, the measurement is
+/// not.
+struct Tee<'a, I: Iterator<Item = Instruction>> {
+    inner: I,
+    sink: &'a mut PendingTrace,
+    ok: &'a mut bool,
+}
+
+impl<I: Iterator<Item = Instruction>> Iterator for Tee<'_, I> {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        let inst = self.inner.next()?;
+        if *self.ok && self.sink.push(&inst).is_err() {
+            *self.ok = false;
+        }
+        Some(inst)
     }
 }

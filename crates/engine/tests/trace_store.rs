@@ -1,0 +1,194 @@
+//! Trace-store guarantees at the engine level: store state never changes
+//! results, warm stores actually replay, and corrupt traces fall back to
+//! regeneration — all observable through the `tracestore.*` counters.
+
+use horizon_core::campaign::Campaign;
+use horizon_engine::Engine;
+use horizon_trace::WorkloadProfile;
+use horizon_uarch::MachineConfig;
+use horizon_workloads::cpu2017;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn profiles() -> Vec<WorkloadProfile> {
+    cpu2017::speed_int()
+        .iter()
+        .take(3)
+        .map(|b| b.profile().clone())
+        .collect()
+}
+
+fn machines() -> Vec<MachineConfig> {
+    vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()]
+}
+
+fn campaign() -> Campaign {
+    Campaign {
+        instructions: 20_000,
+        warmup: 5_000,
+        seed: 42,
+    }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "horizon-tracestore-engine-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn store_state_never_changes_results() {
+    let dir = scratch_dir("identity");
+    let campaign = campaign();
+    let (profiles, machines) = (profiles(), machines());
+
+    let plain = Engine::new()
+        .with_jobs(2)
+        .measure_profiles(&campaign, &profiles, &machines);
+
+    // Cold store: every batch misses and writes through.
+    let cold_engine = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let cold = cold_engine.measure_profiles(&campaign, &profiles, &machines);
+    let cold_stats = cold_engine.stats();
+    assert_eq!(cold, plain, "write-through run diverged from plain run");
+    assert_eq!(cold_stats.trace_hits, 0);
+    assert_eq!(cold_stats.trace_misses, profiles.len() as u64);
+    assert!(cold_stats.trace_bytes_written > 0);
+    assert_eq!(
+        cold_stats.trace_instructions_written,
+        profiles.len() as u64 * (campaign.instructions + campaign.warmup)
+    );
+    assert!(
+        cold_stats.trace_bytes_per_instruction() <= 8.0,
+        "{} B/inst breaks the format budget",
+        cold_stats.trace_bytes_per_instruction()
+    );
+
+    // Warm store, fresh engine (empty memo): every batch replays.
+    let warm_engine = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let warm = warm_engine.measure_profiles(&campaign, &profiles, &machines);
+    let warm_stats = warm_engine.stats();
+    assert_eq!(warm, plain, "replayed run diverged from plain run");
+    assert_eq!(warm_stats.trace_hits, profiles.len() as u64);
+    assert_eq!(warm_stats.trace_misses, 0);
+    assert!(warm_stats.trace_bytes_read > 0);
+    assert_eq!(warm_stats.trace_bytes_written, 0);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn one_trace_feeds_other_machine_sets_and_campaign_splits() {
+    // The store keys on (profile, seed, total window): a second campaign
+    // with a different machine list and a different warmup/measure split
+    // summing to the same window replays the first campaign's traces.
+    let dir = scratch_dir("sharing");
+    let (profiles, machines) = (profiles(), machines());
+    let first = campaign();
+
+    let writer = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    writer.measure_profiles(&first, &profiles, &machines[..1]);
+    assert_eq!(writer.stats().trace_misses, profiles.len() as u64);
+
+    let second = Campaign {
+        instructions: 24_000,
+        warmup: 1_000,
+        seed: 42,
+    };
+    assert_eq!(
+        second.instructions + second.warmup,
+        first.instructions + first.warmup
+    );
+    let reader = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let replayed = reader.measure_profiles(&second, &profiles, &machines);
+    assert_eq!(reader.stats().trace_hits, profiles.len() as u64);
+    assert_eq!(reader.stats().trace_misses, 0);
+
+    let plain = Engine::new()
+        .with_jobs(2)
+        .measure_profiles(&second, &profiles, &machines);
+    assert_eq!(replayed, plain, "shared-trace replay diverged");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_traces_fall_back_to_regeneration() {
+    let dir = scratch_dir("corrupt");
+    let campaign = campaign();
+    let (profiles, machines) = (profiles(), machines());
+
+    let writer = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let expected = writer.measure_profiles(&campaign, &profiles, &machines);
+
+    // Mangle every stored trace a different way: truncation, bad magic,
+    // version skew.
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("trace"))
+        .collect();
+    paths.sort();
+    assert_eq!(paths.len(), profiles.len());
+    for (i, path) in paths.iter().enumerate() {
+        let mut bytes = std::fs::read(path).unwrap();
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => bytes[0] = b'X',
+            _ => bytes[8] = 0xfe,
+        }
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    let survivor = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let result = survivor.measure_profiles(&campaign, &profiles, &machines);
+    assert_eq!(result, expected, "fallback after corruption diverged");
+    let stats = survivor.stats();
+    assert_eq!(stats.trace_hits, 0, "corrupt traces must not count as hits");
+    assert_eq!(stats.trace_misses, profiles.len() as u64);
+    assert!(
+        stats.trace_bytes_written > 0,
+        "traces are rewritten on miss"
+    );
+
+    // The rewritten traces are valid again.
+    let healed = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    assert_eq!(
+        healed.measure_profiles(&campaign, &profiles, &machines),
+        expected
+    );
+    assert_eq!(healed.stats().trace_hits, profiles.len() as u64);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn memo_hits_bypass_the_store() {
+    // A literally repeated campaign on one engine is served from the memo
+    // before the trace store is ever consulted: hits stay flat.
+    let dir = scratch_dir("memo");
+    let campaign = campaign();
+    let (profiles, machines) = (profiles(), machines());
+    let engine = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+
+    let first = engine.measure_profiles(&campaign, &profiles, &machines);
+    let after_first = engine.stats();
+    let second = engine.measure_profiles(&campaign, &profiles, &machines);
+    let after_second = engine.stats();
+
+    assert_eq!(first, second);
+    assert_eq!(after_second.trace_hits, after_first.trace_hits);
+    assert_eq!(after_second.trace_misses, after_first.trace_misses);
+    assert_eq!(
+        after_second.memo_hits,
+        after_first.memo_hits + (profiles.len() * machines.len()) as u64
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

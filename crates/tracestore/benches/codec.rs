@@ -1,0 +1,67 @@
+//! Generate vs encode vs replay for one stored trace window.
+//!
+//! Four configurations over the exchange2 profile at a 2M-instruction
+//! window (the same workload as the `fleet` bench, covering warmup plus
+//! measured window of the default campaign scaled up):
+//!
+//! - `generate_2m` — expand the stream from the statistical profile with
+//!   [`TraceGenerator`], the cost every simulation paid before the store.
+//! - `encode_2m` — expand *and* pack the stream through [`TraceWriter`]
+//!   into an in-memory sink: the extra cost of a store write-through miss.
+//! - `decode_2m` — replay a validated in-memory packed trace via
+//!   [`TraceReader::iter`]: the per-simulation cost once the store is warm.
+//! - `validate_2m` — [`TraceReader::new`] over the packed bytes: the
+//!   one-time checksum-and-decode pass a store `load` performs.
+//!
+//! The headline number is `generate_2m` median / `decode_2m` median;
+//! measured medians are recorded in `BENCH_sim.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use horizon_trace::TraceGenerator;
+use horizon_tracestore::{TraceReader, TraceWriter};
+use horizon_workloads::cpu2017;
+
+const WINDOW: usize = 2_000_000;
+const SEED: u64 = 42;
+
+fn packed(profile: &horizon_trace::WorkloadProfile) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), WINDOW as u64).unwrap();
+    for inst in TraceGenerator::new(profile, SEED).take(WINDOW) {
+        writer.push(&inst).unwrap();
+    }
+    writer.finish().unwrap()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let profile = cpu2017::speed_int()[8].profile().clone();
+    assert_eq!(profile.name(), "648.exchange2_s");
+    let bytes = packed(&profile);
+    let reader = TraceReader::new(bytes.clone()).unwrap();
+
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+
+    group.bench_function("generate_2m", |b| {
+        b.iter(|| {
+            TraceGenerator::new(&profile, SEED)
+                .take(WINDOW)
+                .map(|inst| inst.pc)
+                .sum::<u64>()
+        })
+    });
+
+    group.bench_function("encode_2m", |b| b.iter(|| packed(&profile).len()));
+
+    group.bench_function("decode_2m", |b| {
+        b.iter(|| reader.iter().map(|inst| inst.pc).sum::<u64>())
+    });
+
+    group.bench_function("validate_2m", |b| {
+        b.iter(|| TraceReader::new(bytes.clone()).unwrap().instructions())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

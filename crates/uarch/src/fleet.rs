@@ -213,6 +213,23 @@ impl FleetSimulator {
     /// warmup) on every machine and returns one [`Counters`] per machine,
     /// in [`FleetSimulator::machines`] order.
     pub fn run(&self, profile: &WorkloadProfile, instructions: u64, seed: u64) -> Vec<Counters> {
+        self.run_trace(profile, instructions, TraceGenerator::new(profile, seed))
+    }
+
+    /// [`FleetSimulator::run`] with the instruction stream supplied by the
+    /// caller instead of expanded in place — the replay entry point. Any
+    /// `Iterator<Item = Instruction>` works: a live [`TraceGenerator`], a
+    /// packed trace replayed from disk, or a synthetic test stream. The
+    /// source must yield at least `warmup + instructions` items and must
+    /// reproduce the generator stream exactly for counters to match
+    /// [`FleetSimulator::run`]; `run` itself delegates here, so the two
+    /// paths cannot drift.
+    pub fn run_trace(
+        &self,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        source: impl Iterator<Item = Instruction>,
+    ) -> Vec<Counters> {
         if self.machines.is_empty() {
             return Vec::new();
         }
@@ -223,7 +240,7 @@ impl FleetSimulator {
             fleet.prewarm(profile);
         }
 
-        let mut gen = TraceGenerator::new(profile, seed);
+        let mut gen = source;
         {
             let mut warmup_span = horizon_telemetry::span("sim.warmup");
             warmup_span.record("instructions", self.warmup);

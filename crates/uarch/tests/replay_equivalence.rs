@@ -1,0 +1,97 @@
+//! Replay ≡ regenerate: the acceptance gate for the trace store.
+//!
+//! A packed trace written through `horizon-tracestore` and replayed into
+//! the simulators must produce counters bit-identical to expanding the
+//! stream live from the profile — for every Table IV machine, through
+//! both the fleet kernel and the single-core simulator. This is what
+//! licenses the engine to substitute a stored trace for regeneration
+//! without any result ever changing.
+
+use horizon_trace::TraceGenerator;
+use horizon_tracestore::{TraceKey, TraceStore};
+use horizon_uarch::{CoreSimulator, FleetSimulator, MachineConfig};
+
+const WINDOW: u64 = 60_000;
+const WARMUP: u64 = 15_000;
+const SEED: u64 = 42;
+
+/// Writes the `(profile, SEED)` stream into a fresh store and returns the
+/// store plus the key, asserting the published density stays under the
+/// 8-bytes-per-instruction format budget.
+fn store_trace(
+    tag: &str,
+    profile: &horizon_trace::WorkloadProfile,
+) -> (TraceStore, TraceKey, std::path::PathBuf) {
+    let total = WARMUP + WINDOW;
+    let dir = std::env::temp_dir().join(format!(
+        "horizon-replay-equivalence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::open(&dir).unwrap();
+    let key = TraceKey::of(profile, SEED, total);
+    let mut pending = store.begin(&key, total).unwrap();
+    for inst in TraceGenerator::new(profile, SEED).take(total as usize) {
+        pending.push(&inst).unwrap();
+    }
+    let bytes = pending.publish().unwrap();
+    assert!(
+        bytes <= 8 * total,
+        "{bytes} bytes for {total} instructions breaks the 8 B/inst budget"
+    );
+    (store, key, dir)
+}
+
+#[test]
+fn fleet_replay_is_bit_identical_on_all_table_iv_machines() {
+    let profile = horizon_workloads::cpu2017::all()[0].profile().clone();
+    let machines = MachineConfig::table_iv_machines();
+    assert_eq!(machines.len(), 7);
+    let (store, key, dir) = store_trace("fleet", &profile);
+
+    let fleet = FleetSimulator::new(&machines).with_warmup(WARMUP);
+    let regenerated = fleet.run(&profile, WINDOW, SEED);
+    let reader = store.load(&key).expect("published trace loads");
+    let replayed = fleet.run_trace(&profile, WINDOW, reader.iter());
+
+    assert_eq!(replayed.len(), 7);
+    for ((replay, fresh), machine) in replayed.iter().zip(&regenerated).zip(&machines) {
+        assert_eq!(replay, fresh, "counters diverge on {}", machine.name);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn core_replay_is_bit_identical_on_all_table_iv_machines() {
+    let profile = horizon_workloads::cpu2017::all()[1].profile().clone();
+    let (store, key, dir) = store_trace("core", &profile);
+
+    for machine in MachineConfig::table_iv_machines() {
+        let sim = CoreSimulator::new(&machine).with_warmup(WARMUP);
+        let fresh = sim.run(&profile, WINDOW, SEED);
+        let reader = store.load(&key).expect("published trace loads");
+        let replay = sim.run_trace(&profile, WINDOW, reader.iter());
+        assert_eq!(replay, fresh, "counters diverge on {}", machine.name);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn one_stored_trace_feeds_every_machine_and_split() {
+    // The store keys on (profile, seed, total window), not on the
+    // warmup/measure split: any split summing to the stored total replays
+    // exactly. This is what lets differently-configured campaigns share
+    // traces.
+    let profile = horizon_workloads::cpu2017::all()[2].profile().clone();
+    let (store, key, dir) = store_trace("split", &profile);
+    let machines = [MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()];
+
+    for (warmup, window) in [(WARMUP, WINDOW), (0, WARMUP + WINDOW), (WINDOW, WARMUP)] {
+        let fleet = FleetSimulator::new(&machines).with_warmup(warmup);
+        let fresh = fleet.run(&profile, window, SEED);
+        let reader = store.load(&key).expect("published trace loads");
+        let replay = fleet.run_trace(&profile, window, reader.iter());
+        assert_eq!(replay, fresh, "diverges at split {warmup}+{window}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
