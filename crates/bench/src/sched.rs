@@ -86,11 +86,27 @@ pub(crate) struct RunOutput {
 /// The rendezvous between one scheduled run and its waiters.
 #[derive(Debug, Default)]
 pub(crate) struct RunSlot {
+    /// Telemetry run id the execution runs under — coalesced waiters
+    /// share the leader's id, so an SSE stream can filter the live bus
+    /// down to exactly this run's events.
+    run_id: u64,
     output: Mutex<Option<RunOutput>>,
     done: Condvar,
 }
 
 impl RunSlot {
+    fn new(run_id: u64) -> Self {
+        RunSlot {
+            run_id,
+            ..RunSlot::default()
+        }
+    }
+
+    /// The telemetry run id this slot's execution is attributed to.
+    pub(crate) fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
     /// Blocks until the run publishes (cloning its output) or `deadline`
     /// elapses (`None`). Detaching never disturbs the slot: co-waiters
     /// and the run itself are unaffected.
@@ -256,7 +272,7 @@ impl RunScheduler {
                 self.shared.recorder.counter_add("serve.coalesced_runs", 1);
                 return (slot, true);
             }
-            let slot = Arc::new(RunSlot::default());
+            let slot = Arc::new(RunSlot::new(horizon_telemetry::next_run_id()));
             inflight.insert(key.clone(), Arc::clone(&slot));
             slot
         };
@@ -321,9 +337,13 @@ fn execute(shared: &SchedShared, run: QueuedRun) {
     let before_disk = rec.counter_value("engine.disk_hits");
     let before_sim = rec.counter_value("engine.simulated_jobs");
     let started = Instant::now();
+    // Attribute everything this run records or publishes on the live bus
+    // (the engine re-enters the scope on its own workers).
+    let run_scope = horizon_telemetry::RunScope::enter(run.slot.run_id());
     let result = catch_unwind(AssertUnwindSafe(|| {
         run_experiment(run.experiment, &run.cfg)
     }));
+    drop(run_scope);
     if run.jobs.is_some() {
         shared.engine.set_jobs(shared.default_jobs);
     }

@@ -27,7 +27,7 @@ fn run(args: &[&str]) -> Output {
 }
 
 /// Parses a JSONL trace, asserting every line is valid JSON and the first
-/// line is a schema-1 meta record. Returns one `Value` per line.
+/// line is a schema-2 meta record. Returns one `Value` per line.
 fn parse_trace(path: &std::path::Path) -> Vec<Value> {
     let text = std::fs::read_to_string(path).expect("trace file exists");
     let lines: Vec<Value> = text
@@ -45,7 +45,7 @@ fn parse_trace(path: &std::path::Path) -> Vec<Value> {
         "meta",
         "first line is the meta record"
     );
-    assert_eq!(num_field(meta, "schema"), 1, "schema version");
+    assert_eq!(num_field(meta, "schema"), 2, "schema version");
     lines
 }
 
@@ -349,12 +349,87 @@ fn trace_store_replays_across_processes_and_gc_prunes_it() {
 }
 
 #[test]
+fn progress_and_otlp_sinks_leave_the_report_bytes_alone() {
+    let dir = scratch_dir("progress-otlp");
+    let otlp = dir.join("otlp.json");
+    let trace = dir.join("trace.jsonl");
+    let with_sinks = run(&[
+        "table1",
+        "--quick",
+        "--progress",
+        "--otlp-out",
+        otlp.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(with_sinks.status.success());
+    let plain = run(&["table1", "--quick"]);
+    assert!(plain.status.success());
+    assert_eq!(
+        with_sinks.stdout, plain.stdout,
+        "--progress/--otlp-out altered the stdout report"
+    );
+
+    // Progress goes to stderr: phase transitions and jobs-done lines.
+    let stderr = String::from_utf8(with_sinks.stderr).unwrap();
+    assert!(
+        stderr.lines().any(|l| l.starts_with("progress: phase ")),
+        "no phase progress lines: {stderr}"
+    );
+    assert!(
+        stderr
+            .lines()
+            .any(|l| l.starts_with("progress: ") && l.contains("jobs")),
+        "no job-count progress lines: {stderr}"
+    );
+
+    // The trace meta line attributes the run (schema 2).
+    let lines = parse_trace(&trace);
+    assert!(num_field(&lines[0], "run") > 0);
+    assert_eq!(str_field(&lines[0], "experiment"), "table1");
+
+    // The OTLP document is one JSON object with the resourceSpans →
+    // scopeSpans → spans hierarchy, spec-length hex ids, and every span
+    // in the same (run-derived) trace.
+    let text = std::fs::read_to_string(&otlp).expect("otlp file exists");
+    let doc: Value = serde_json::from_str(text.trim()).expect("otlp is JSON");
+    let Ok(Value::Seq(resource_spans)) = doc.field("resourceSpans") else {
+        panic!("no resourceSpans: {text}");
+    };
+    let Ok(Value::Seq(scope_spans)) = resource_spans[0].field("scopeSpans") else {
+        panic!("no scopeSpans");
+    };
+    let Ok(Value::Seq(spans)) = scope_spans[0].field("spans") else {
+        panic!("no spans");
+    };
+    assert!(!spans.is_empty(), "otlp export has no spans");
+    let trace_id = str_field(&spans[0], "traceId");
+    assert_eq!(trace_id.len(), 32);
+    for span in spans {
+        assert_eq!(str_field(span, "traceId"), trace_id, "one run, one trace");
+        assert_eq!(str_field(span, "spanId").len(), 16);
+        let start: u64 = str_field(span, "startTimeUnixNano").parse().unwrap();
+        let end: u64 = str_field(span, "endTimeUnixNano").parse().unwrap();
+        assert!(start <= end);
+    }
+
+    // `--progress` is an experiment-run flag; elsewhere it is a usage
+    // error, same as the misplaced serve flags.
+    let out = run(&["list", "--progress"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_flags_and_experiments_are_rejected() {
     let out = run(&["table1", "--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["no-such-experiment"]);
     assert_eq!(out.status.code(), Some(2));
     let out = run(&["table1", "--trace-out"]);
+    assert_eq!(out.status.code(), Some(2), "missing flag value");
+    let out = run(&["table1", "--otlp-out"]);
     assert_eq!(out.status.code(), Some(2), "missing flag value");
 }
 

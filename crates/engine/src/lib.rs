@@ -305,11 +305,14 @@ impl Engine {
     ) -> CampaignResult {
         let call_start = Instant::now();
         let rec = &self.recorder;
-        let mut campaign_span = rec.span("engine.campaign");
+        let mut campaign_span = rec.phase_span("engine.campaign");
         let campaign_id = campaign_span.id();
+        // Run attribution for the live bus: workers re-enter this scope on
+        // their own threads (the id is thread-local, not inherited).
+        let run = horizon_telemetry::current_run_id();
 
         // Phase 1: expand the grid into de-duplicated jobs.
-        let expand_span = rec.span("engine.expand");
+        let expand_span = rec.phase_span("engine.expand");
         let mut job_index: HashMap<Fingerprint, usize> = HashMap::new();
         // job id -> (profile index, machine index) of its first occurrence.
         let mut jobs: Vec<(usize, usize)> = Vec::new();
@@ -339,7 +342,7 @@ impl Engine {
         // flight (another campaign leads it — we follow), or genuinely
         // unstarted (we lead it). There is no window in which two
         // campaigns can both decide to simulate the same fingerprint.
-        let probe_span = rec.span("engine.probe");
+        let probe_span = rec.phase_span("engine.probe");
         let mut resolved: Vec<Option<Measurement>> = vec![None; jobs.len()];
         let mut leaders: Vec<Option<LeaderGuard<'_>>> = Vec::with_capacity(jobs.len());
         let mut followers: Vec<(usize, FollowerTicket)> = Vec::new();
@@ -473,74 +476,79 @@ impl Engine {
             .map(|&id| Mutex::new(leaders[id].take()))
             .collect();
         if !batches.is_empty() {
-            let simulate_span = rec.span("engine.simulate");
+            let simulate_span = rec.phase_span("engine.simulate");
             let cursor = AtomicUsize::new(0);
             let pool_start = Instant::now();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let b = cursor.fetch_add(1, Ordering::Relaxed);
-                        if b >= batches.len() {
-                            break;
-                        }
-                        let queue_wait = pool_start.elapsed().as_nanos() as u64;
-                        let (w, ids) = &batches[b];
-                        let batch_machines: Vec<MachineConfig> =
-                            ids.iter().map(|&id| machines[jobs[id].1].clone()).collect();
-                        let batch_guards: Vec<LeaderGuard<'_>> = (0..ids.len())
-                            .map(|k| {
-                                guards[batch_start[b] + k]
-                                    .lock()
-                                    .expect("guard slot")
-                                    .take()
-                                    .expect("each guard is taken once")
-                            })
-                            .collect();
-                        let job_start = Instant::now();
-                        let measurements =
-                            self.measure_batch(campaign, &profiles[*w], &batch_machines);
-                        let wall = job_start.elapsed().as_nanos() as u64;
-                        // Attribute the batch's wall clock across its jobs
-                        // so per-job accounting sums exactly to the batch.
-                        let n = ids.len() as u64;
-                        let (share, extra) = (wall / n, wall % n);
-                        for (k, ((&id, measurement), guard)) in
-                            ids.iter().zip(measurements).zip(batch_guards).enumerate()
-                        {
-                            let (jw, jm) = jobs[id];
-                            let wall_nanos = share + u64::from((k as u64) < extra);
-                            rec.histogram_record("engine.queue_wait_ns", queue_wait);
-                            let mut job_span = rec.span("engine.job");
-                            job_span.set_parent(campaign_id);
-                            job_span.record("workload", profiles[jw].name());
-                            job_span.record("machine", machines[jm].name.as_str());
-                            job_span.record("outcome", "simulated");
-                            job_span
-                                .record("instructions", campaign.instructions + campaign.warmup);
-                            job_span.record("est_cost", profile_cost[jw]);
-                            job_span.record("fleet", ids.len());
-                            job_span.record("wall_ns", wall_nanos);
-                            drop(job_span);
-                            rec.histogram_record("engine.job_wall_ns", wall_nanos);
-                            slots[batch_start[b] + k]
-                                .set((measurement, wall_nanos))
-                                .expect("each slot is claimed once");
-                            self.emit_progress(
-                                &completed,
-                                total,
-                                &profiles[jw],
-                                &machines[jm],
-                                false,
-                            );
-                            // Publish last: anything that panics above
-                            // (simulation, telemetry, the progress
-                            // callback) drops the guard unpublished and
-                            // fails co-waiters instead of feeding them a
-                            // result this campaign never vouched for.
-                            let (m, _) = slots[batch_start[b] + k]
-                                .get()
-                                .expect("slot set just above");
-                            guard.publish(m, &self.memo);
+                    scope.spawn(|| {
+                        let _run_scope = horizon_telemetry::RunScope::enter(run);
+                        loop {
+                            let b = cursor.fetch_add(1, Ordering::Relaxed);
+                            if b >= batches.len() {
+                                break;
+                            }
+                            let queue_wait = pool_start.elapsed().as_nanos() as u64;
+                            let (w, ids) = &batches[b];
+                            let batch_machines: Vec<MachineConfig> =
+                                ids.iter().map(|&id| machines[jobs[id].1].clone()).collect();
+                            let batch_guards: Vec<LeaderGuard<'_>> = (0..ids.len())
+                                .map(|k| {
+                                    guards[batch_start[b] + k]
+                                        .lock()
+                                        .expect("guard slot")
+                                        .take()
+                                        .expect("each guard is taken once")
+                                })
+                                .collect();
+                            let job_start = Instant::now();
+                            let measurements =
+                                self.measure_batch(campaign, &profiles[*w], &batch_machines);
+                            let wall = job_start.elapsed().as_nanos() as u64;
+                            // Attribute the batch's wall clock across its jobs
+                            // so per-job accounting sums exactly to the batch.
+                            let n = ids.len() as u64;
+                            let (share, extra) = (wall / n, wall % n);
+                            for (k, ((&id, measurement), guard)) in
+                                ids.iter().zip(measurements).zip(batch_guards).enumerate()
+                            {
+                                let (jw, jm) = jobs[id];
+                                let wall_nanos = share + u64::from((k as u64) < extra);
+                                rec.histogram_record("engine.queue_wait_ns", queue_wait);
+                                let mut job_span = rec.span("engine.job");
+                                job_span.set_parent(campaign_id);
+                                job_span.record("workload", profiles[jw].name());
+                                job_span.record("machine", machines[jm].name.as_str());
+                                job_span.record("outcome", "simulated");
+                                job_span.record(
+                                    "instructions",
+                                    campaign.instructions + campaign.warmup,
+                                );
+                                job_span.record("est_cost", profile_cost[jw]);
+                                job_span.record("fleet", ids.len());
+                                job_span.record("wall_ns", wall_nanos);
+                                drop(job_span);
+                                rec.histogram_record("engine.job_wall_ns", wall_nanos);
+                                slots[batch_start[b] + k]
+                                    .set((measurement, wall_nanos))
+                                    .expect("each slot is claimed once");
+                                self.emit_progress(
+                                    &completed,
+                                    total,
+                                    &profiles[jw],
+                                    &machines[jm],
+                                    false,
+                                );
+                                // Publish last: anything that panics above
+                                // (simulation, telemetry, the progress
+                                // callback) drops the guard unpublished and
+                                // fails co-waiters instead of feeding them a
+                                // result this campaign never vouched for.
+                                let (m, _) = slots[batch_start[b] + k]
+                                    .get()
+                                    .expect("slot set just above");
+                                guard.publish(m, &self.memo);
+                            }
                         }
                     });
                 }
@@ -579,7 +587,7 @@ impl Engine {
         // Memo entries were already inserted at publication time (so
         // co-waiting campaigns could read them); only this campaign's own
         // simulated jobs are stored to disk.
-        let integrate_span = rec.span("engine.integrate");
+        let integrate_span = rec.phase_span("engine.integrate");
         let mut simulation_wall_nanos = 0u64;
         for (slot, &id) in misses.iter().enumerate() {
             let (measurement, wall_nanos) = slots[slot].get().expect("all jobs ran").clone();
@@ -606,7 +614,7 @@ impl Engine {
         drop(integrate_span);
 
         // Phase 5: assemble the grid by cell index.
-        let assemble_span = rec.span("engine.assemble");
+        let assemble_span = rec.phase_span("engine.assemble");
         let workload_names = profiles.iter().map(|p| p.name().to_string()).collect();
         let machine_names = machines.iter().map(|m| m.name.clone()).collect();
         let grid = cell_jobs
@@ -689,6 +697,8 @@ impl Engine {
         cached: bool,
     ) {
         let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        self.recorder
+            .publish_progress(done as u64, total as u64, cached);
         if let Some(callback) = &self.progress {
             callback(&ProgressEvent {
                 completed: done,

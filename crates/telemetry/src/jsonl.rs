@@ -13,7 +13,12 @@ use crate::recorder::FieldValue;
 use crate::snapshot::TelemetrySnapshot;
 
 /// Trace format version, bumped on any breaking field change.
-pub const TRACE_SCHEMA: u32 = 1;
+///
+/// v2 (additive over v1 — readers keying on field names keep working):
+/// the meta line gains `run` (run id, 0 when unattributed) and
+/// `experiment` (target name or `null`) so multi-run trace files are
+/// attributable, and every span event gains a `run` label.
+pub const TRACE_SCHEMA: u32 = 2;
 
 fn num(v: impl ToString) -> Value {
     Value::Num(v.to_string())
@@ -53,27 +58,52 @@ fn histogram_event(kind: &str, name: &str, h: &crate::Histogram) -> Value {
     ])
 }
 
-/// Writes the snapshot as a JSONL trace.
-///
-/// Events, one JSON object per line:
-/// * `{"type":"meta","schema":1,"dropped_spans":N}` — always first.
-/// * `{"type":"span","id":…,"parent":…,"name":…,"thread":…,"start_ns":…,
-///   "dur_ns":…,"fields":{…}}` — one per retained span, ascending id.
-/// * `{"type":"counter","name":…,"value":…}` — one per counter.
-/// * `{"type":"gauge","name":…,"value":…}` — one per gauge (current level).
-/// * `{"type":"histogram"|"phase","name":…,"count":…,"sum":…,"min":…,
-///   "max":…,"buckets":[[le,count],…],"overflow":…}` — explicit
-///   histograms, then per-span-name wall-time aggregates.
+/// Writes the snapshot as a JSONL trace with no run attribution in the
+/// meta line (`run` 0, `experiment` null) — see [`write_trace_with_meta`]
+/// for the attributed form used by `repro --trace-out`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `out`.
 pub fn write_trace(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Result<()> {
+    write_trace_with_meta(snapshot, 0, None, out)
+}
+
+/// Writes the snapshot as a JSONL trace.
+///
+/// Events, one JSON object per line:
+/// * `{"type":"meta","schema":2,"run":…,"experiment":…,"dropped_spans":N}`
+///   — always first; `run` is the producing run's id (0 when
+///   unattributed), `experiment` the target name or `null`.
+/// * `{"type":"span","id":…,"parent":…,"name":…,"thread":…,"run":…,
+///   "start_ns":…,"dur_ns":…,"fields":{…}}` — one per retained span,
+///   ascending id.
+/// * `{"type":"counter","name":…,"value":…}` — one per counter.
+/// * `{"type":"gauge","name":…,"value":…}` — one per gauge (current level).
+/// * `{"type":"histogram"|"phase","name":…,"count":…,"sum":…,"min":…,
+///   "max":…,"buckets":[[le,count],…],"overflow":…}` — explicit
+///   histograms (labeled series as `family{key="value"}`), then
+///   per-span-name wall-time aggregates.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace_with_meta(
+    snapshot: &TelemetrySnapshot,
+    run: u64,
+    experiment: Option<&str>,
+    out: &mut impl Write,
+) -> io::Result<()> {
     write_event(
         out,
         Value::Map(vec![
             ("type".into(), Value::Str("meta".into())),
             ("schema".into(), num(TRACE_SCHEMA)),
+            ("run".into(), num(run)),
+            (
+                "experiment".into(),
+                experiment.map_or(Value::Null, |e| Value::Str(e.into())),
+            ),
             ("dropped_spans".into(), num(snapshot.dropped_spans)),
         ]),
     )?;
@@ -95,6 +125,7 @@ pub fn write_trace(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Re
                 ("parent".into(), span.parent.map_or(Value::Null, num)),
                 ("name".into(), Value::Str(span.name.into())),
                 ("thread".into(), num(span.thread)),
+                ("run".into(), num(span.run)),
                 ("start_ns".into(), num(span.start_nanos)),
                 ("dur_ns".into(), num(span.duration_nanos)),
                 ("fields".into(), fields),
@@ -124,6 +155,10 @@ pub fn write_trace(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> io::Re
     }
     for (name, h) in &snapshot.histograms {
         write_event(out, histogram_event("histogram", name, h))?;
+    }
+    for (&(family, key, value), h) in &snapshot.labeled_histograms {
+        let series = format!("{family}{{{key}=\"{value}\"}}");
+        write_event(out, histogram_event("histogram", &series, h))?;
     }
     for (name, h) in &snapshot.span_wall {
         write_event(out, histogram_event("phase", name, h))?;
@@ -183,6 +218,49 @@ mod tests {
             &Value::Str("605.mcf_s".into())
         );
         assert_eq!(fields.field("cached").unwrap(), &Value::Bool(false));
+    }
+
+    #[test]
+    fn meta_carries_run_and_experiment_attribution() {
+        let r = Arc::new(Recorder::new());
+        let _scope = crate::RunScope::enter(12);
+        {
+            let _s = r.span("campaign");
+        }
+        let mut buf = Vec::new();
+        write_trace_with_meta(&r.snapshot(), 12, Some("table5"), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let meta: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.field("schema").unwrap(), &num(TRACE_SCHEMA));
+        assert_eq!(meta.field("run").unwrap(), &num(12u64));
+        assert_eq!(
+            meta.field("experiment").unwrap(),
+            &Value::Str("table5".into())
+        );
+        let span_line = text.lines().find(|l| l.contains("\"campaign\"")).unwrap();
+        let span: Value = serde_json::from_str(span_line).unwrap();
+        assert_eq!(span.field("run").unwrap(), &num(12u64));
+
+        // The unattributed wrapper stays valid: run 0, experiment null.
+        let mut buf = Vec::new();
+        write_trace(&r.snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let meta: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.field("run").unwrap(), &num(0u64));
+        assert_eq!(meta.field("experiment").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn labeled_histograms_appear_as_labeled_series_names() {
+        let r = Arc::new(Recorder::new());
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "run", 3);
+        let mut buf = Vec::new();
+        write_trace(&r.snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("\"serve.request_wall_ms{route=\\\"run\\\"}\""),
+            "{text}"
+        );
     }
 
     #[test]

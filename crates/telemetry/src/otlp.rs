@@ -1,0 +1,291 @@
+//! OTLP/JSON-shaped span export.
+//!
+//! Writes a recorder snapshot as one JSON document shaped like an OTLP
+//! `ExportTraceServiceRequest` (the `resourceSpans` → `scopeSpans` →
+//! `spans` hierarchy of the OpenTelemetry protocol's JSON mapping), so
+//! existing span data loads into Jaeger/Tempo-style tooling without any
+//! OpenTelemetry SDK dependency — std-only, consistent with the
+//! workspace's offline policy.
+//!
+//! Mapping choices:
+//!
+//! * **traceId** — 32 hex chars: a fixed `horizon` prefix word plus the
+//!   span's run id, so every span of one run lands in one trace and
+//!   unattributed spans (run 0) share a catch-all trace. Never all-zero.
+//! * **spanId / parentSpanId** — 16 hex chars from the recorder-unique
+//!   span id (ids start at 1, so never all-zero). `parentSpanId` is
+//!   omitted for roots.
+//! * **timestamps** — `startTimeUnixNano`/`endTimeUnixNano` re-anchor the
+//!   recorder's monotonic offsets to the wall clock via
+//!   [`TelemetrySnapshot::epoch_unix_nanos`], rendered as decimal strings
+//!   per the OTLP JSON mapping of 64-bit integers.
+//! * **attributes** — span fields, plus `thread.id` and `horizon.run`.
+
+use std::io::{self, Write};
+
+use serde::Value;
+
+use crate::recorder::FieldValue;
+use crate::snapshot::TelemetrySnapshot;
+
+/// High word of every trace id: the ASCII bytes `horizon!`. Guarantees a
+/// non-zero trace id even for run 0.
+const TRACE_ID_PREFIX: u64 = 0x686f_7269_7a6f_6e21;
+
+fn num(v: impl ToString) -> Value {
+    Value::Num(v.to_string())
+}
+
+fn str_value(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// `{"key":…,"value":{…}}` — one OTLP KeyValue.
+fn attribute(key: &str, value: Value) -> Value {
+    Value::Map(vec![
+        ("key".into(), str_value(key)),
+        ("value".into(), value),
+    ])
+}
+
+/// OTLP AnyValue for one span field. 64-bit integers are decimal strings
+/// per the OTLP JSON mapping; doubles stay JSON numbers.
+fn any_value(v: &FieldValue) -> Value {
+    match v {
+        FieldValue::Bool(b) => Value::Map(vec![("boolValue".into(), Value::Bool(*b))]),
+        FieldValue::U64(n) => Value::Map(vec![("intValue".into(), str_value(n.to_string()))]),
+        FieldValue::I64(n) => Value::Map(vec![("intValue".into(), str_value(n.to_string()))]),
+        FieldValue::F64(x) => Value::Map(vec![("doubleValue".into(), num(x))]),
+        FieldValue::Str(s) => Value::Map(vec![("stringValue".into(), str_value(s.clone()))]),
+    }
+}
+
+/// Writes the snapshot as an OTLP/JSON trace-export document for
+/// `repro --otlp-out`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_otlp(
+    snapshot: &TelemetrySnapshot,
+    service_name: &str,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    let mut spans: Vec<&crate::SpanRecord> = snapshot.spans.iter().collect();
+    spans.sort_by_key(|s| s.id);
+    let otlp_spans: Vec<Value> = spans
+        .iter()
+        .map(|span| {
+            let start = snapshot.epoch_unix_nanos.saturating_add(span.start_nanos);
+            let end = start.saturating_add(span.duration_nanos);
+            let mut attributes = vec![
+                attribute(
+                    "thread.id",
+                    Value::Map(vec![(
+                        "intValue".into(),
+                        str_value(span.thread.to_string()),
+                    )]),
+                ),
+                attribute(
+                    "horizon.run",
+                    Value::Map(vec![("intValue".into(), str_value(span.run.to_string()))]),
+                ),
+            ];
+            attributes.extend(span.fields.iter().map(|(k, v)| attribute(k, any_value(v))));
+            let mut map = vec![
+                (
+                    "traceId".into(),
+                    str_value(format!("{TRACE_ID_PREFIX:016x}{:016x}", span.run)),
+                ),
+                ("spanId".into(), str_value(format!("{:016x}", span.id))),
+            ];
+            if let Some(parent) = span.parent {
+                map.push(("parentSpanId".into(), str_value(format!("{parent:016x}"))));
+            }
+            map.extend([
+                ("name".into(), str_value(span.name)),
+                // SPAN_KIND_INTERNAL — all recorded spans are in-process.
+                ("kind".into(), num(1)),
+                ("startTimeUnixNano".into(), str_value(start.to_string())),
+                ("endTimeUnixNano".into(), str_value(end.to_string())),
+                ("attributes".into(), Value::Seq(attributes)),
+                ("status".into(), Value::Map(Vec::new())),
+            ]);
+            Value::Map(map)
+        })
+        .collect();
+
+    let document = Value::Map(vec![(
+        "resourceSpans".into(),
+        Value::Seq(vec![Value::Map(vec![
+            (
+                "resource".into(),
+                Value::Map(vec![(
+                    "attributes".into(),
+                    Value::Seq(vec![attribute(
+                        "service.name",
+                        Value::Map(vec![("stringValue".into(), str_value(service_name))]),
+                    )]),
+                )]),
+            ),
+            (
+                "scopeSpans".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    (
+                        "scope".into(),
+                        Value::Map(vec![
+                            ("name".into(), str_value("horizon-telemetry")),
+                            ("version".into(), str_value(env!("CARGO_PKG_VERSION"))),
+                        ]),
+                    ),
+                    ("spans".into(), Value::Seq(otlp_spans)),
+                ])]),
+            ),
+        ])]),
+    )]);
+    let text = serde_json::to_string(&document)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(out, "{text}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, RunScope};
+    use std::sync::Arc;
+
+    fn export() -> Value {
+        let r = Arc::new(Recorder::new());
+        let _scope = RunScope::enter(9);
+        {
+            let mut outer = r.span("campaign");
+            outer.record("cells", 4u64);
+            outer.record("quick", true);
+            let _inner = r.span("engine.expand");
+        }
+        let mut buf = Vec::new();
+        write_otlp(&r.snapshot(), "horizon-repro", &mut buf).unwrap();
+        serde_json::from_str(&String::from_utf8(buf).unwrap()).unwrap()
+    }
+
+    fn spans_of(doc: &Value) -> &[Value] {
+        let resource_spans = match doc.field("resourceSpans").unwrap() {
+            Value::Seq(s) => &s[0],
+            _ => panic!("resourceSpans is a list"),
+        };
+        let scope_spans = match resource_spans.field("scopeSpans").unwrap() {
+            Value::Seq(s) => &s[0],
+            _ => panic!("scopeSpans is a list"),
+        };
+        match scope_spans.field("spans").unwrap() {
+            Value::Seq(s) => s,
+            _ => panic!("spans is a list"),
+        }
+    }
+
+    fn str_field<'a>(v: &'a Value, key: &str) -> &'a str {
+        match v.field(key).unwrap() {
+            Value::Str(s) => s,
+            other => panic!("{key}: expected string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn document_has_resource_scope_span_hierarchy() {
+        let doc = export();
+        let spans = spans_of(&doc);
+        assert_eq!(spans.len(), 2);
+        let resource_spans = match doc.field("resourceSpans").unwrap() {
+            Value::Seq(s) => &s[0],
+            _ => unreachable!(),
+        };
+        let resource = resource_spans.field("resource").unwrap();
+        let attrs = match resource.field("attributes").unwrap() {
+            Value::Seq(s) => s,
+            _ => panic!(),
+        };
+        assert_eq!(str_field(&attrs[0], "key"), "service.name");
+    }
+
+    #[test]
+    fn ids_are_hex_strings_of_spec_length_and_parents_link() {
+        let doc = export();
+        let spans = spans_of(&doc);
+        // Spans are sorted by id: expand closed first but campaign has the
+        // smaller id; find by name.
+        let campaign = spans
+            .iter()
+            .find(|s| str_field(s, "name") == "campaign")
+            .unwrap();
+        let expand = spans
+            .iter()
+            .find(|s| str_field(s, "name") == "engine.expand")
+            .unwrap();
+        for span in [campaign, expand] {
+            let trace_id = str_field(span, "traceId");
+            assert_eq!(trace_id.len(), 32);
+            assert!(trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert_ne!(trace_id, "0".repeat(32));
+            let span_id = str_field(span, "spanId");
+            assert_eq!(span_id.len(), 16);
+            assert!(span_id.chars().all(|c| c.is_ascii_hexdigit()));
+            assert_ne!(span_id, "0".repeat(16));
+        }
+        assert_eq!(
+            str_field(campaign, "traceId"),
+            str_field(expand, "traceId"),
+            "same run → same trace"
+        );
+        assert!(str_field(campaign, "traceId").ends_with(&format!("{:016x}", 9)));
+        assert_eq!(
+            str_field(expand, "parentSpanId"),
+            str_field(campaign, "spanId")
+        );
+        assert!(campaign.field("parentSpanId").is_err(), "roots omit it");
+    }
+
+    #[test]
+    fn timestamps_are_unix_nano_strings_with_start_before_end() {
+        let doc = export();
+        for span in spans_of(&doc) {
+            let start: u64 = str_field(span, "startTimeUnixNano").parse().unwrap();
+            let end: u64 = str_field(span, "endTimeUnixNano").parse().unwrap();
+            assert!(start <= end);
+            // Sanity: after 2020-01-01 in unix nanos.
+            assert!(start > 1_577_836_800_000_000_000, "{start}");
+        }
+    }
+
+    #[test]
+    fn fields_become_typed_attributes() {
+        let doc = export();
+        let spans = spans_of(&doc);
+        let campaign = spans
+            .iter()
+            .find(|s| str_field(s, "name") == "campaign")
+            .unwrap();
+        let attrs = match campaign.field("attributes").unwrap() {
+            Value::Seq(s) => s,
+            _ => panic!(),
+        };
+        let find = |key: &str| {
+            attrs
+                .iter()
+                .find(|a| str_field(a, "key") == key)
+                .unwrap_or_else(|| panic!("attribute {key}"))
+                .field("value")
+                .unwrap()
+        };
+        assert_eq!(
+            str_field(find("cells"), "intValue"),
+            "4",
+            "ints are decimal strings per the OTLP JSON mapping"
+        );
+        assert_eq!(
+            find("quick").field("boolValue").unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(str_field(find("horizon.run"), "intValue"), "9");
+        assert!(find("thread.id").field("intValue").is_ok());
+    }
+}

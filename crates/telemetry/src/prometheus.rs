@@ -4,7 +4,12 @@
 //! runs can be diffed and plotted with standard tooling. Counters become
 //! `horizon_<name>`, explicit histograms become `horizon_<name>` histogram
 //! families, and per-span-name wall times are exposed as one histogram
-//! family `horizon_span_wall_nanos` with a `phase` label.
+//! family `horizon_span_wall_nanos` with a `phase` label. Every histogram
+//! family additionally gets a `<family>_quantile` gauge with
+//! `q="0.5"/"0.9"/"0.99"` labels — pre-computed p50/p90/p99 bucket upper
+//! bounds for readers that don't do `histogram_quantile` themselves.
+//! Single-label histograms (e.g. `serve.request_wall_ms` by `route`)
+//! render as one family per name with their label on every series.
 
 use std::io::{self, Write};
 
@@ -50,6 +55,24 @@ fn write_histogram(
     Ok(())
 }
 
+/// The `<family>_quantile` companion gauge: p50/p90/p99 bucket upper
+/// bounds. Callers emit the `# TYPE` line once per family.
+fn write_quantiles(
+    out: &mut impl Write,
+    family: &str,
+    labels: &str,
+    h: &Histogram,
+) -> io::Result<()> {
+    for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+        writeln!(
+            out,
+            "{family}_quantile{{{labels}q=\"{label}\"}} {}",
+            h.quantile_upper_bound(q)
+        )?;
+    }
+    Ok(())
+}
+
 /// Writes the snapshot in Prometheus text exposition format.
 ///
 /// # Errors
@@ -75,6 +98,31 @@ pub fn write_prometheus(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> i
         let metric = format!("horizon_{}", sanitize(name));
         writeln!(out, "# TYPE {metric} histogram")?;
         write_histogram(out, &metric, "", h)?;
+        writeln!(out, "# TYPE {metric}_quantile gauge")?;
+        write_quantiles(out, &metric, "", h)?;
+    }
+
+    // Single-label histograms: one family per metric name, the label on
+    // every series. BTreeMap order keeps a family's entries contiguous.
+    let mut last_family: Option<&'static str> = None;
+    for (&(family, label_key, label_value), h) in &snapshot.labeled_histograms {
+        let metric = format!("horizon_{}", sanitize(family));
+        if last_family != Some(family) {
+            writeln!(out, "# TYPE {metric} histogram")?;
+            last_family = Some(family);
+        }
+        let labels = format!("{}=\"{label_value}\",", sanitize(label_key));
+        write_histogram(out, &metric, &labels, h)?;
+    }
+    let mut last_family: Option<&'static str> = None;
+    for (&(family, label_key, label_value), h) in &snapshot.labeled_histograms {
+        let metric = format!("horizon_{}", sanitize(family));
+        if last_family != Some(family) {
+            writeln!(out, "# TYPE {metric}_quantile gauge")?;
+            last_family = Some(family);
+        }
+        let labels = format!("{}=\"{label_value}\",", sanitize(label_key));
+        write_quantiles(out, &metric, &labels, h)?;
     }
 
     if !snapshot.span_wall.is_empty() {
@@ -82,6 +130,11 @@ pub fn write_prometheus(snapshot: &TelemetrySnapshot, out: &mut impl Write) -> i
         for (name, h) in &snapshot.span_wall {
             let labels = format!("phase=\"{name}\",");
             write_histogram(out, "horizon_span_wall_nanos", &labels, h)?;
+        }
+        writeln!(out, "# TYPE horizon_span_wall_nanos_quantile gauge")?;
+        for (name, h) in &snapshot.span_wall {
+            let labels = format!("phase=\"{name}\",");
+            write_quantiles(out, "horizon_span_wall_nanos", &labels, h)?;
         }
     }
     Ok(())
@@ -102,6 +155,8 @@ mod tests {
         for v in [800, 3000, 70_000] {
             r.histogram_record("engine.queue_wait_ns", v);
         }
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "run", 40);
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "healthz", 1);
         {
             let _s = r.span("stats.eigen");
         }
@@ -144,6 +199,30 @@ mod tests {
             text.contains("horizon_span_wall_nanos_bucket{phase=\"stats.eigen\",le=\"+Inf\"} 1")
         );
         assert!(text.contains("horizon_span_wall_nanos_count{phase=\"stats.eigen\"} 1"));
+    }
+
+    #[test]
+    fn quantile_gauges_accompany_every_histogram_family() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_engine_queue_wait_ns_quantile gauge"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_quantile{q=\"0.5\"} 4096"));
+        assert!(text.contains("horizon_engine_queue_wait_ns_quantile{q=\"0.99\"} 131072"));
+        assert!(text.contains("horizon_span_wall_nanos_quantile{phase=\"stats.eigen\",q=\"0.9\"}"));
+    }
+
+    #[test]
+    fn labeled_histograms_render_one_family_with_label_series() {
+        let text = sample_dump();
+        assert!(text.contains("# TYPE horizon_serve_request_wall_ms histogram"));
+        assert_eq!(
+            text.matches("# TYPE horizon_serve_request_wall_ms histogram")
+                .count(),
+            1,
+            "one TYPE line per family, not per label value"
+        );
+        assert!(text.contains("horizon_serve_request_wall_ms_bucket{route=\"run\",le=\"+Inf\"} 1"));
+        assert!(text.contains("horizon_serve_request_wall_ms_count{route=\"healthz\"} 1"));
+        assert!(text.contains("horizon_serve_request_wall_ms_quantile{route=\"run\",q=\"0.5\"}"));
     }
 
     #[test]

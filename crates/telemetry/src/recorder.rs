@@ -4,10 +4,17 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
+use crate::bus::{current_run_id, EventBus, EventKind};
 use crate::histogram::Histogram;
 use crate::snapshot::{SpanRecord, TelemetrySnapshot};
+
+/// Counter name under which bus ring-overflow drops surface in snapshots,
+/// [`Recorder::counter_value`] and `/metrics`. It is synthesized from the
+/// bus's own atomic — publishing it through `counter_add` would recurse
+/// (the add would itself emit a bus event).
+pub const EVENTS_DROPPED_COUNTER: &str = "telemetry.events_dropped";
 
 /// A structured field value attached to a span.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +89,10 @@ struct State {
     /// Wall-time histogram per span name; fed on every span close, so
     /// phase totals stay exact even past the span cap.
     span_wall: BTreeMap<&'static str, Histogram>,
+    /// Histograms keyed `(family, label key, label value)` — one labelled
+    /// dimension (e.g. `serve.request_wall_ms{route="run"}`), enough for
+    /// per-route latency without a full label-set model.
+    labeled_histograms: BTreeMap<(&'static str, &'static str, &'static str), Histogram>,
 }
 
 /// Collects spans, counters and histograms from any number of threads.
@@ -93,8 +104,13 @@ pub struct Recorder {
     enabled: bool,
     span_capacity: usize,
     epoch: Instant,
+    /// Wall-clock time of `epoch` (unix nanoseconds), captured once at
+    /// construction so monotonic span offsets can be re-anchored to
+    /// absolute timestamps (the OTLP exporter needs them).
+    epoch_unix_nanos: u64,
     next_id: AtomicU64,
     state: Mutex<State>,
+    bus: EventBus,
 }
 
 static NEXT_TAG: AtomicU64 = AtomicU64::new(1);
@@ -127,8 +143,13 @@ impl Recorder {
             enabled: true,
             span_capacity: DEFAULT_SPAN_CAPACITY,
             epoch: Instant::now(),
+            epoch_unix_nanos: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0),
             next_id: AtomicU64::new(1),
             state: Mutex::new(State::default()),
+            bus: EventBus::new(),
         }
     }
 
@@ -157,6 +178,18 @@ impl Recorder {
     /// the innermost open span *of this recorder* on the current thread
     /// (override with [`Span::set_parent`] for cross-thread work).
     pub fn span(self: &Arc<Self>, name: &'static str) -> Span {
+        self.open_span(name, false)
+    }
+
+    /// Opens a *phase* span: identical to [`Recorder::span`], but its open
+    /// and close additionally publish `phase_enter`/`phase_exit` events on
+    /// the live bus, so streaming consumers see pipeline transitions
+    /// without wading through every leaf span.
+    pub fn phase_span(self: &Arc<Self>, name: &'static str) -> Span {
+        self.open_span(name, true)
+    }
+
+    fn open_span(self: &Arc<Self>, name: &'static str, phase: bool) -> Span {
         if !self.enabled {
             return Span::noop();
         }
@@ -171,26 +204,73 @@ impl Recorder {
             stack.push((self.tag, id));
             parent
         });
+        let run = current_run_id();
+        let start_nanos = self.epoch.elapsed().as_nanos() as u64;
+        if self.bus.has_subscribers() {
+            self.bus
+                .publish(run, start_nanos, EventKind::SpanStart { id, parent, name });
+            if phase {
+                self.bus
+                    .publish(run, start_nanos, EventKind::PhaseEnter { name });
+            }
+        }
         Span {
             inner: Some(ActiveSpan {
                 recorder: Arc::clone(self),
                 id,
                 parent,
                 name,
+                run,
+                phase,
                 start: Instant::now(),
-                start_nanos: self.epoch.elapsed().as_nanos() as u64,
+                start_nanos,
                 fields: Vec::new(),
             }),
         }
     }
 
-    /// Adds `delta` to a named counter.
+    /// The live event bus this recorder publishes into. Subscribe to watch
+    /// spans, counters, phases and progress as they happen.
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Publishes one job-progress event on the bus (no-op when disabled or
+    /// unobserved — costs one atomic load on the engine's per-job path).
+    pub fn publish_progress(&self, completed: u64, total: u64, cached: bool) {
+        if !self.enabled || !self.bus.has_subscribers() {
+            return;
+        }
+        self.bus.publish(
+            current_run_id(),
+            self.epoch.elapsed().as_nanos() as u64,
+            EventKind::Progress {
+                completed,
+                total,
+                cached,
+            },
+        );
+    }
+
+    /// Adds `delta` to a named counter. With a bus subscriber attached, a
+    /// `counter` event carrying the delta and post-add total is published
+    /// (outside the state lock).
     pub fn counter_add(&self, name: &'static str, delta: u64) {
         if !self.enabled {
             return;
         }
         let mut state = self.state.lock().expect("telemetry state");
-        *state.counters.entry(name).or_insert(0) += delta;
+        let slot = state.counters.entry(name).or_insert(0);
+        *slot += delta;
+        let total = *slot;
+        drop(state);
+        if self.bus.has_subscribers() {
+            self.bus.publish(
+                current_run_id(),
+                self.epoch.elapsed().as_nanos() as u64,
+                EventKind::CounterDelta { name, delta, total },
+            );
+        }
     }
 
     /// Adds `delta` (possibly negative) to a named gauge. Unlike counters,
@@ -234,10 +314,34 @@ impl Recorder {
         state.histograms.entry(name).or_default().record(value);
     }
 
+    /// Records one sample into a histogram carrying a single static label
+    /// dimension, e.g. `serve.request_wall_ms{route="run"}`. All three
+    /// parts are `&'static str` so the hot path never allocates.
+    pub fn histogram_record_labeled(
+        &self,
+        family: &'static str,
+        label_key: &'static str,
+        label_value: &'static str,
+        value: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state");
+        state
+            .labeled_histograms
+            .entry((family, label_key, label_value))
+            .or_default()
+            .record(value);
+    }
+
     /// Current value of one named counter (0 when never touched) without
     /// paying for a full [`Recorder::snapshot`] clone — cheap enough to
     /// call per request on a serving path.
     pub fn counter_value(&self, name: &str) -> u64 {
+        if name == EVENTS_DROPPED_COUNTER {
+            return self.bus.dropped();
+        }
         self.state
             .lock()
             .expect("telemetry state")
@@ -247,22 +351,32 @@ impl Recorder {
             .unwrap_or(0)
     }
 
-    /// A consistent copy of everything recorded so far.
+    /// A consistent copy of everything recorded so far. Bus ring-overflow
+    /// drops, if any, appear as the [`EVENTS_DROPPED_COUNTER`] counter.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let state = self.state.lock().expect("telemetry state");
+        let mut counters = state.counters.clone();
+        let events_dropped = self.bus.dropped();
+        if events_dropped > 0 {
+            counters.insert(EVENTS_DROPPED_COUNTER, events_dropped);
+        }
         TelemetrySnapshot {
             spans: state.spans.clone(),
             dropped_spans: state.dropped_spans,
-            counters: state.counters.clone(),
+            counters,
             gauges: state.gauges.clone(),
             histograms: state.histograms.clone(),
             span_wall: state.span_wall.clone(),
+            labeled_histograms: state.labeled_histograms.clone(),
+            epoch_unix_nanos: self.epoch_unix_nanos,
         }
     }
 
-    /// Clears all recorded data (spans, counters, histograms).
+    /// Clears all recorded data (spans, counters, histograms, and the
+    /// events-dropped tally; live bus subscriptions stay attached).
     pub fn reset(&self) {
         *self.state.lock().expect("telemetry state") = State::default();
+        self.bus.reset_dropped();
     }
 
     /// Renders the live state in Prometheus text exposition format — a
@@ -290,20 +404,45 @@ impl Recorder {
             parent: span.parent,
             name: span.name,
             thread: current_thread_id(),
+            run: span.run,
             start_nanos: span.start_nanos,
             duration_nanos,
             fields: std::mem::take(&mut span.fields),
         };
-        let mut state = self.state.lock().expect("telemetry state");
-        state
-            .span_wall
-            .entry(span.name)
-            .or_default()
-            .record(duration_nanos);
-        if state.spans.len() < self.span_capacity {
-            state.spans.push(record);
-        } else {
-            state.dropped_spans += 1;
+        {
+            let mut state = self.state.lock().expect("telemetry state");
+            state
+                .span_wall
+                .entry(span.name)
+                .or_default()
+                .record(duration_nanos);
+            if state.spans.len() < self.span_capacity {
+                state.spans.push(record);
+            } else {
+                state.dropped_spans += 1;
+            }
+        }
+        if self.bus.has_subscribers() {
+            let at_nanos = self.epoch.elapsed().as_nanos() as u64;
+            self.bus.publish(
+                span.run,
+                at_nanos,
+                EventKind::SpanEnd {
+                    id: span.id,
+                    name: span.name,
+                    duration_nanos,
+                },
+            );
+            if span.phase {
+                self.bus.publish(
+                    span.run,
+                    at_nanos,
+                    EventKind::PhaseExit {
+                        name: span.name,
+                        duration_nanos,
+                    },
+                );
+            }
         }
     }
 }
@@ -314,6 +453,10 @@ struct ActiveSpan {
     id: u64,
     parent: Option<u64>,
     name: &'static str,
+    /// Run label captured at open ([`current_run_id`]).
+    run: u64,
+    /// Phase spans publish `phase_enter`/`phase_exit` bus events.
+    phase: bool,
     start: Instant,
     start_nanos: u64,
     fields: Vec<(&'static str, FieldValue)>,
@@ -489,6 +632,113 @@ mod tests {
         r.gauge_add("g", 5);
         r.gauge_set("g", 9);
         assert!(r.snapshot().gauges.is_empty());
+    }
+
+    #[test]
+    fn bus_sees_span_counter_and_phase_events_with_run_labels() {
+        use crate::bus::{EventKind, RunScope};
+        let r = Arc::new(Recorder::new());
+        let sub = r.bus().subscribe(64);
+        let _scope = RunScope::enter(41);
+        {
+            let _phase = r.phase_span("engine.simulate");
+            r.counter_add("engine.memo_hits", 2);
+            r.counter_add("engine.memo_hits", 3);
+            r.publish_progress(1, 8, true);
+        }
+        let events: Vec<_> = std::iter::from_fn(|| sub.try_recv()).collect();
+        let labels: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "span_start",
+                "phase_enter",
+                "counter",
+                "counter",
+                "progress",
+                "span_end",
+                "phase_exit"
+            ]
+        );
+        assert!(
+            events.iter().all(|e| e.run == 41),
+            "run label on all events"
+        );
+        let mut last = 0;
+        for e in &events {
+            assert!(e.seq > last, "monotonic seq");
+            last = e.seq;
+        }
+        match &events[3].kind {
+            EventKind::CounterDelta { name, delta, total } => {
+                assert_eq!(*name, "engine.memo_hits");
+                assert_eq!(*delta, 3);
+                assert_eq!(*total, 5, "second delta carries the running total");
+            }
+            other => panic!("expected counter event, got {other:?}"),
+        }
+        // The span record itself is stamped with the run too.
+        let snap = r.snapshot();
+        assert_eq!(snap.spans_named("engine.simulate")[0].run, 41);
+    }
+
+    #[test]
+    fn unobserved_recorder_publishes_nothing_and_disabled_stays_dark() {
+        let r = Arc::new(Recorder::new());
+        {
+            let _s = r.phase_span("p");
+            r.counter_add("c", 1);
+            r.publish_progress(1, 2, false);
+        }
+        // Subscribe only now: nothing from before may appear.
+        let sub = r.bus().subscribe(8);
+        assert!(sub.try_recv().is_none());
+
+        let dark = Arc::new(Recorder::disabled());
+        let dark_sub = dark.bus().subscribe(8);
+        {
+            let _s = dark.phase_span("p");
+            dark.counter_add("c", 1);
+            dark.publish_progress(1, 2, false);
+        }
+        assert!(dark_sub.try_recv().is_none(), "disabled recorder runs dark");
+    }
+
+    #[test]
+    fn ring_overflow_surfaces_as_events_dropped_counter() {
+        let r = Arc::new(Recorder::new());
+        let sub = r.bus().subscribe(2);
+        for _ in 0..10 {
+            r.counter_add("c", 1);
+        }
+        assert_eq!(sub.dropped(), 8);
+        assert_eq!(r.counter_value(EVENTS_DROPPED_COUNTER), 8);
+        assert_eq!(r.snapshot().counter(EVENTS_DROPPED_COUNTER), 8);
+        r.reset();
+        assert_eq!(r.counter_value(EVENTS_DROPPED_COUNTER), 0);
+        assert_eq!(r.snapshot().counter(EVENTS_DROPPED_COUNTER), 0);
+    }
+
+    #[test]
+    fn labeled_histograms_record_per_label_value() {
+        let r = Arc::new(Recorder::new());
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "run", 100);
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "run", 200);
+        r.histogram_record_labeled("serve.request_wall_ms", "route", "healthz", 1);
+        let snap = r.snapshot();
+        let run = snap
+            .labeled_histograms
+            .get(&("serve.request_wall_ms", "route", "run"))
+            .expect("run route recorded");
+        assert_eq!(run.count(), 2);
+        let healthz = snap
+            .labeled_histograms
+            .get(&("serve.request_wall_ms", "route", "healthz"))
+            .expect("healthz route recorded");
+        assert_eq!(healthz.count(), 1);
+        let dark = Arc::new(Recorder::disabled());
+        dark.histogram_record_labeled("f", "k", "v", 1);
+        assert!(dark.snapshot().labeled_histograms.is_empty());
     }
 
     #[test]

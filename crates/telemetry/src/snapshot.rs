@@ -17,6 +17,9 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Process-wide sequential id of the recording thread.
     pub thread: u64,
+    /// Run label captured when the span opened
+    /// ([`crate::current_run_id`]; 0 = outside any run scope).
+    pub run: u64,
     /// Monotonic nanoseconds since the recorder's creation.
     pub start_nanos: u64,
     /// Span wall time in nanoseconds.
@@ -61,6 +64,13 @@ pub struct PhaseStat {
     pub total_nanos: u64,
     /// Mean wall time in nanoseconds.
     pub mean_nanos: f64,
+    /// Median wall time (bucket upper bound; see
+    /// [`Histogram::quantile_upper_bound`]).
+    pub p50_nanos: u64,
+    /// 90th-percentile wall time (bucket upper bound).
+    pub p90_nanos: u64,
+    /// 99th-percentile wall time (bucket upper bound).
+    pub p99_nanos: u64,
 }
 
 /// A consistent copy of everything a [`crate::Recorder`] has collected.
@@ -78,6 +88,14 @@ pub struct TelemetrySnapshot {
     pub histograms: BTreeMap<&'static str, Histogram>,
     /// Per-span-name wall-time histograms (exact even past the span cap).
     pub span_wall: BTreeMap<&'static str, Histogram>,
+    /// Histograms with one label dimension, keyed
+    /// `(family, label key, label value)` — e.g. per-route request wall
+    /// time in `repro serve`.
+    pub labeled_histograms: BTreeMap<(&'static str, &'static str, &'static str), Histogram>,
+    /// Wall-clock unix time (nanoseconds) of the recorder's monotonic
+    /// epoch; `epoch_unix_nanos + start_nanos` re-anchors any span to an
+    /// absolute timestamp (the OTLP exporter relies on this).
+    pub epoch_unix_nanos: u64,
 }
 
 impl TelemetrySnapshot {
@@ -117,6 +135,9 @@ impl TelemetrySnapshot {
                 count: h.count(),
                 total_nanos: h.sum(),
                 mean_nanos: h.mean(),
+                p50_nanos: h.quantile_upper_bound(0.50),
+                p90_nanos: h.quantile_upper_bound(0.90),
+                p99_nanos: h.quantile_upper_bound(0.99),
             })
             .collect();
         phases.sort_by(|a, b| b.total_nanos.cmp(&a.total_nanos).then(a.name.cmp(b.name)));
@@ -129,16 +150,19 @@ impl TelemetrySnapshot {
         let phases = self.phase_breakdown();
         let mut out = String::from("per-phase wall clock (spans overlap across threads):\n");
         out.push_str(&format!(
-            "  {:<24} {:>8} {:>12} {:>12}\n",
-            "phase", "count", "total", "mean"
+            "  {:<24} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}\n",
+            "phase", "count", "total", "mean", "p50", "p90", "p99"
         ));
         for p in &phases {
             out.push_str(&format!(
-                "  {:<24} {:>8} {:>11.3}s {:>10.3}ms\n",
+                "  {:<24} {:>8} {:>11.3}s {:>10.3}ms {:>8.3}ms {:>8.3}ms {:>8.3}ms\n",
                 p.name,
                 p.count,
                 p.total_nanos as f64 / 1e9,
                 p.mean_nanos / 1e6,
+                p.p50_nanos as f64 / 1e6,
+                p.p90_nanos as f64 / 1e6,
+                p.p99_nanos as f64 / 1e6,
             ));
         }
         if self.dropped_spans > 0 {
@@ -202,5 +226,20 @@ mod tests {
         assert!(table.contains("beta"));
         assert!(table.contains("phase"));
         assert!(!table.contains("dropped"));
+    }
+
+    #[test]
+    fn phase_quantiles_are_ordered_and_bound_samples() {
+        let snap = snapshot_with_phases();
+        for p in snap.phase_breakdown() {
+            assert!(p.p50_nanos <= p.p90_nanos, "{}", p.name);
+            assert!(p.p90_nanos <= p.p99_nanos, "{}", p.name);
+            let h = snap.span_wall.get(p.name).unwrap();
+            assert_eq!(p.p99_nanos, h.quantile_upper_bound(0.99));
+        }
+        let table = snap.render_phase_table();
+        for col in ["p50", "p90", "p99"] {
+            assert!(table.contains(col), "missing {col} column:\n{table}");
+        }
     }
 }
