@@ -9,6 +9,12 @@
 //!
 //! flags:
 //!   --quick             reduced-scale config (3 machines, short windows)
+//!   --sampling <MODE>   exact (default) or simpoint: phase-sampled
+//!                       simulation — clusters trace intervals and
+//!                       simulates only representatives (approximate,
+//!                       error-budgeted; see DESIGN.md §15)
+//!   --sampling-interval <N>    simpoint: instructions per interval
+//!   --sampling-max-phases <N>  simpoint: cluster/phase budget
 //!   --jobs <N>          worker threads (overrides HORIZON_JOBS)
 //!   --cache-dir <DIR>   persist measurements to an on-disk cache (also
 //!                       enables a packed trace store at DIR/traces)
@@ -44,13 +50,18 @@ use std::sync::Arc;
 
 use horizon_bench::serve::{ServeOptions, Server};
 use horizon_bench::{find_experiment, run_experiment, ReproConfig, REGISTRY};
+use horizon_core::campaign::SamplingPolicy;
 use horizon_engine::{DiskCache, Engine, EngineStats, TraceStore};
+use horizon_simpoint::SimPointConfig;
 use horizon_telemetry::{EventKind, Recorder};
 use std::time::{Duration, Instant};
 
 struct Options {
     target: Option<String>,
     quick: bool,
+    sampling: Option<String>,
+    sampling_interval: Option<u64>,
+    sampling_max_phases: Option<u64>,
     jobs: Option<usize>,
     cache_dir: Option<String>,
     trace_store: Option<String>,
@@ -92,6 +103,9 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
     let mut opts = Options {
         target: None,
         quick: false,
+        sampling: None,
+        sampling_interval: None,
+        sampling_max_phases: None,
         jobs: None,
         cache_dir: None,
         trace_store: None,
@@ -122,6 +136,31 @@ fn parse_args(args: &[String]) -> Result<Options, ParseError> {
         };
         match flag {
             "--quick" => opts.quick = true,
+            "--sampling" => {
+                let v = value("--sampling")?;
+                if v != "exact" && v != "simpoint" {
+                    return Err(ParseError::BadValue("--sampling", v));
+                }
+                opts.sampling = Some(v);
+            }
+            "--sampling-interval" => {
+                let v = value("--sampling-interval")?;
+                let n = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--sampling-interval", v))?;
+                opts.sampling_interval = Some(n);
+            }
+            "--sampling-max-phases" => {
+                let v = value("--sampling-max-phases")?;
+                let n = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or(ParseError::BadValue("--sampling-max-phases", v))?;
+                opts.sampling_max_phases = Some(n);
+            }
             "--stats" => opts.stats = true,
             "--progress" => opts.progress = true,
             "--jobs" => {
@@ -202,7 +241,8 @@ const SUBCOMMANDS: &str = "all, list, serve, cache-gc, help";
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment|all|list> [--quick] [--jobs N] [--cache-dir DIR] \
+        "usage: repro <experiment|all|list> [--quick] [--sampling exact|simpoint] \
+         [--sampling-interval N] [--sampling-max-phases N] [--jobs N] [--cache-dir DIR] \
          [--trace-store DIR] [--no-trace-store] [--stats] [--progress] [--trace-out FILE] \
          [--metrics-out FILE] [--otlp-out FILE]\n\
          \x20      repro cache-gc --cache-dir DIR [--max-entries N] [--max-trace-bytes N]\n\
@@ -279,6 +319,12 @@ fn run_cache_gc(opts: &Options) -> u8 {
                     report.trace_retained,
                     report.trace_retained_bytes
                 );
+                if report.trace_tmp_removed > 0 {
+                    println!(
+                        "cache-gc: pruned {} orphaned temp file(s), reclaimed {} bytes",
+                        report.trace_tmp_removed, report.trace_tmp_reclaimed_bytes
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("error: trace gc failed for '{}': {e}", trace_dir.display());
@@ -442,11 +488,32 @@ fn main() -> ExitCode {
         }
     };
 
-    let cfg = if opts.quick {
+    let mut cfg = if opts.quick {
         ReproConfig::quick()
     } else {
         ReproConfig::default()
     };
+    // The sampling knobs only mean something under `--sampling simpoint`;
+    // silently ignoring them would mask typos like a missing mode flag.
+    if opts.sampling.as_deref() != Some("simpoint") {
+        let misplaced: &[(&str, bool)] = &[
+            ("--sampling-interval", opts.sampling_interval.is_some()),
+            ("--sampling-max-phases", opts.sampling_max_phases.is_some()),
+        ];
+        if let Some((flag, _)) = misplaced.iter().find(|(_, set)| *set) {
+            eprintln!("error: flag '{flag}' requires '--sampling simpoint'");
+            return ExitCode::from(2);
+        }
+    } else {
+        cfg.campaign.sampling = SamplingPolicy::SimPoint {
+            interval: opts
+                .sampling_interval
+                .unwrap_or(SimPointConfig::DEFAULT_INTERVAL),
+            max_phases: opts
+                .sampling_max_phases
+                .unwrap_or(SimPointConfig::DEFAULT_MAX_PHASES),
+        };
+    }
 
     // One recorder serves the whole process: installed globally (so the
     // simulator and analysis stages record into it) and shared with the
@@ -507,6 +574,10 @@ fn main() -> ExitCode {
     );
     if opts.progress && !is_experiment_run {
         eprintln!("error: flag '--progress' only applies to experiment runs");
+        return ExitCode::from(2);
+    }
+    if opts.sampling.is_some() && !is_experiment_run {
+        eprintln!("error: flag '--sampling' only applies to experiment runs");
         return ExitCode::from(2);
     }
     let progress = opts

@@ -94,8 +94,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use horizon_core::campaign::SamplingPolicy;
 use horizon_core::report_v1::ReportV1;
 use horizon_engine::Engine;
+use horizon_simpoint::SimPointConfig;
 use horizon_telemetry::{EventKind, Recorder, TelemetryEvent, DEFAULT_SUBSCRIBER_CAPACITY};
 
 use serde::Value;
@@ -821,6 +823,7 @@ struct RunOptions {
     seed: Option<u64>,
     jobs: Option<usize>,
     deadline: Option<Duration>,
+    sampling: Option<SamplingPolicy>,
 }
 
 fn parse_u64(value: &Value, key: &str) -> Result<u64, HttpError> {
@@ -839,10 +842,14 @@ fn parse_run_options(request: &Request) -> Result<RunOptions, HttpError> {
         seed: None,
         jobs: None,
         deadline: None,
+        sampling: None,
     };
     if request.body.is_empty() {
         return Ok(opts);
     }
+    let mut sampling_mode: Option<String> = None;
+    let mut sampling_interval: Option<u64> = None;
+    let mut sampling_max_phases: Option<u64> = None;
     let value: Value = serde_json::from_str(request.body_str()?)
         .map_err(|e| HttpError::new(400, format!("invalid JSON body: {e}")))?;
     let Value::Map(entries) = value else {
@@ -880,9 +887,57 @@ fn parse_run_options(request: &Request) -> Result<RunOptions, HttpError> {
                 }
                 opts.deadline = Some(Duration::from_millis(ms));
             }
+            "sampling" => {
+                let mode = String::from_value(value)
+                    .map_err(|e| HttpError::new(400, format!("option 'sampling': {e}")))?;
+                if mode != "exact" && mode != "simpoint" {
+                    return Err(HttpError::new(
+                        400,
+                        "option 'sampling' must be 'exact' or 'simpoint'",
+                    ));
+                }
+                sampling_mode = Some(mode);
+            }
+            "sampling_interval" => {
+                let n = parse_u64(value, "sampling_interval")?;
+                if n == 0 {
+                    return Err(HttpError::new(
+                        400,
+                        "option 'sampling_interval' must be positive",
+                    ));
+                }
+                sampling_interval = Some(n);
+            }
+            "sampling_max_phases" => {
+                let n = parse_u64(value, "sampling_max_phases")?;
+                if n == 0 {
+                    return Err(HttpError::new(
+                        400,
+                        "option 'sampling_max_phases' must be positive",
+                    ));
+                }
+                sampling_max_phases = Some(n);
+            }
             other => {
                 return Err(HttpError::new(400, format!("unknown option '{other}'")));
             }
+        }
+    }
+    if sampling_mode.as_deref() == Some("simpoint") {
+        opts.sampling = Some(SamplingPolicy::SimPoint {
+            interval: sampling_interval.unwrap_or(SimPointConfig::DEFAULT_INTERVAL),
+            max_phases: sampling_max_phases.unwrap_or(SimPointConfig::DEFAULT_MAX_PHASES),
+        });
+    } else {
+        if sampling_interval.is_some() || sampling_max_phases.is_some() {
+            return Err(HttpError::new(
+                400,
+                "options 'sampling_interval' and 'sampling_max_phases' require \
+                 \"sampling\": \"simpoint\"",
+            ));
+        }
+        if sampling_mode.is_some() {
+            opts.sampling = Some(SamplingPolicy::Exact);
         }
     }
     Ok(opts)
@@ -936,6 +991,9 @@ fn prepare_run(name: &str, request: &Request) -> Result<PreparedRun, Response> {
     if let Some(seed) = opts.seed {
         cfg.campaign.seed = seed;
     }
+    if let Some(sampling) = opts.sampling {
+        cfg.campaign.sampling = sampling;
+    }
 
     let key = RunKey {
         experiment: experiment.id,
@@ -943,6 +1001,7 @@ fn prepare_run(name: &str, request: &Request) -> Result<PreparedRun, Response> {
         instructions: opts.instructions,
         warmup: opts.warmup,
         seed: opts.seed,
+        sampling: cfg.campaign.sampling,
     };
     let cost = experiment.weight.saturating_mul(
         cfg.campaign

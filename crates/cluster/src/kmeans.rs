@@ -1,0 +1,285 @@
+//! Deterministic Lloyd k-means for phase clustering.
+//!
+//! The SimPoint-style trace sampler (`horizon-simpoint`) clusters interval
+//! behavior vectors into at most `k` phases. Unlike the suite-level
+//! agglomerative pipeline, interval counts grow with the window length, so
+//! the O(n²) dendrogram is the wrong tool; plain k-means over the (small,
+//! fixed-dimension) behavior vectors is the classic SimPoint choice.
+//!
+//! Everything here is deterministic — no RNG:
+//!
+//! * initialization is farthest-first traversal seeded from observation 0,
+//! * assignment ties break toward the lower centroid index,
+//! * selection ties break toward the lower observation index.
+//!
+//! Given the same points in the same order, the clustering is bit-identical
+//! across runs, platforms and thread counts.
+
+use crate::ClusterError;
+
+/// Result of a k-means run: flat assignments plus the final centroids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// `assignments[i]` is the cluster index of observation `i`
+    /// (in `0..centroids.len()`).
+    pub assignments: Vec<usize>,
+    /// Final cluster centroids (means of the assigned observations).
+    pub centroids: Vec<Vec<f64>>,
+    /// Lloyd iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Members of each cluster, sorted ascending, indexed by cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut clusters = vec![Vec::new(); self.centroids.len()];
+        for (i, &c) in self.assignments.iter().enumerate() {
+            clusters[c].push(i);
+        }
+        clusters
+    }
+
+    /// For each cluster, the member observation closest to its centroid —
+    /// the phase *representative*. Ties break toward the lower index.
+    pub fn medoids(&self, points: &[Vec<f64>]) -> Vec<usize> {
+        self.clusters()
+            .iter()
+            .enumerate()
+            .map(|(c, members)| {
+                members
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let da = squared_distance(&points[a], &self.centroids[c]);
+                        let db = squared_distance(&points[b], &self.centroids[c]);
+                        da.partial_cmp(&db)
+                            .expect("finite distances")
+                            .then(a.cmp(&b))
+                    })
+                    .expect("non-empty cluster")
+            })
+            .collect()
+    }
+}
+
+const MAX_ITERATIONS: usize = 100;
+
+/// Clusters `points` into at most `k` groups with deterministic Lloyd
+/// iterations. `k` is clamped to the number of points; duplicate points
+/// may leave fewer than `k` non-empty clusters, in which case the empty
+/// ones are dropped (assignments are re-compacted), so every returned
+/// cluster is non-empty.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::Empty`] if `points` is empty or `k == 0`, and
+/// [`ClusterError::LabelMismatch`] if the points have inconsistent
+/// dimensions.
+///
+/// # Example
+///
+/// ```
+/// use horizon_cluster::kmeans;
+///
+/// let pts = vec![vec![0.0], vec![0.2], vec![9.0], vec![9.1]];
+/// let km = kmeans(&pts, 2)?;
+/// assert_eq!(km.assignments[0], km.assignments[1]);
+/// assert_eq!(km.assignments[2], km.assignments[3]);
+/// assert_ne!(km.assignments[0], km.assignments[2]);
+/// # Ok::<(), horizon_cluster::ClusterError>(())
+/// ```
+pub fn kmeans(points: &[Vec<f64>], k: usize) -> Result<KMeans, ClusterError> {
+    if points.is_empty() || k == 0 {
+        return Err(ClusterError::Empty);
+    }
+    let dim = points[0].len();
+    if let Some(bad) = points.iter().position(|p| p.len() != dim) {
+        return Err(ClusterError::LabelMismatch {
+            observations: dim,
+            labels: points[bad].len(),
+        });
+    }
+    let k = k.min(points.len());
+
+    // Farthest-first initialization from observation 0: spreads the seeds
+    // across the occupied space without randomness.
+    let mut centroids: Vec<Vec<f64>> = vec![points[0].clone()];
+    while centroids.len() < k {
+        let (next, spread) = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let nearest = centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min);
+                (i, nearest)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(b.0.cmp(&a.0)))
+            .expect("non-empty points");
+        if spread == 0.0 {
+            break; // all remaining points coincide with a centroid
+        }
+        centroids.push(points[next].clone());
+    }
+
+    let mut assignments = assign(points, &centroids);
+    let mut iterations = 0;
+    while iterations < MAX_ITERATIONS {
+        iterations += 1;
+        // Recompute centroids as member means; empty clusters keep their
+        // previous centroid (they are compacted away at the end).
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &c) in points.iter().zip(&assignments) {
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, count) in counts.iter().enumerate() {
+            if *count > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= *count as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        let next = assign(points, &centroids);
+        if next == assignments {
+            break;
+        }
+        assignments = next;
+    }
+
+    // Compact away empty clusters so callers can rely on non-emptiness.
+    let mut remap = vec![usize::MAX; centroids.len()];
+    let mut kept = Vec::new();
+    for &c in &assignments {
+        if remap[c] == usize::MAX {
+            remap[c] = kept.len();
+            kept.push(centroids[c].clone());
+        }
+    }
+    let assignments = assignments.into_iter().map(|c| remap[c]).collect();
+
+    Ok(KMeans {
+        assignments,
+        centroids: kept,
+        iterations,
+    })
+}
+
+fn assign(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> Vec<usize> {
+    points
+        .iter()
+        .map(|p| {
+            centroids
+                .iter()
+                .enumerate()
+                .min_by(|(ai, a), (bi, b)| {
+                    squared_distance(p, a)
+                        .partial_cmp(&squared_distance(p, b))
+                        .expect("finite distances")
+                        .then(ai.cmp(bi))
+                })
+                .expect("non-empty centroids")
+                .0
+        })
+        .collect()
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.2],
+            vec![8.0, 8.0],
+            vec![8.1, 8.0],
+        ]
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let km = kmeans(&two_blobs(), 2).unwrap();
+        assert_eq!(km.centroids.len(), 2);
+        assert_eq!(km.assignments[0], km.assignments[1]);
+        assert_eq!(km.assignments[1], km.assignments[2]);
+        assert_eq!(km.assignments[3], km.assignments[4]);
+        assert_ne!(km.assignments[0], km.assignments[3]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = kmeans(&two_blobs(), 2).unwrap();
+        let b = kmeans(&two_blobs(), 2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_clamped_to_observation_count() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let km = kmeans(&pts, 10).unwrap();
+        assert_eq!(km.centroids.len(), 2);
+        assert_eq!(km.assignments, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_points_collapse_clusters() {
+        let pts = vec![vec![3.0]; 4];
+        let km = kmeans(&pts, 3).unwrap();
+        assert_eq!(km.centroids.len(), 1);
+        assert_eq!(km.assignments, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn medoids_pick_closest_members() {
+        let pts = two_blobs();
+        let km = kmeans(&pts, 2).unwrap();
+        let medoids = km.medoids(&pts);
+        assert_eq!(medoids.len(), 2);
+        // Each medoid belongs to the cluster it represents.
+        for (c, &m) in medoids.iter().enumerate() {
+            assert_eq!(km.assignments[m], c);
+        }
+    }
+
+    #[test]
+    fn clusters_lists_sorted_members() {
+        let km = kmeans(&two_blobs(), 2).unwrap();
+        let clusters = km.clusters();
+        assert_eq!(clusters.len(), 2);
+        let mut all: Vec<usize> = clusters.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        for members in &clusters {
+            assert!(!members.is_empty());
+            assert!(members.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let km = kmeans(&[vec![5.0]], 1).unwrap();
+        assert_eq!(km.assignments, vec![0]);
+        assert_eq!(km.centroids, vec![vec![5.0]]);
+    }
+
+    #[test]
+    fn errors_on_empty_and_mismatched() {
+        assert!(matches!(kmeans(&[], 2), Err(ClusterError::Empty)));
+        assert!(matches!(kmeans(&[vec![1.0]], 0), Err(ClusterError::Empty)));
+        assert!(matches!(
+            kmeans(&[vec![1.0], vec![1.0, 2.0]], 2),
+            Err(ClusterError::LabelMismatch { .. })
+        ));
+    }
+}

@@ -4,7 +4,8 @@
 //! hardware-counter readouts plus power estimates — the stand-in for the
 //! paper's perf-counter experiments on seven physical systems.
 
-use horizon_trace::WorkloadProfile;
+use horizon_simpoint::SimPointConfig;
+use horizon_trace::{TraceGenerator, WorkloadProfile};
 use horizon_uarch::{
     CoreSimulator, Counters, FleetSimulator, MachineConfig, PowerModel, PowerReport,
 };
@@ -57,7 +58,55 @@ pub struct Measurement {
     pub power: PowerReport,
 }
 
-/// Campaign configuration: simulation window, warmup and seed.
+/// How a campaign turns its window into counters: exact full-window
+/// simulation (the default, bit-reproducible) or SimPoint-style phase
+/// sampling (approximate, bounded by a measured error budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingPolicy {
+    /// Simulate every instruction of the window. Results are bit-exact.
+    #[default]
+    Exact,
+    /// Fingerprint fixed-size intervals, cluster them, and simulate only
+    /// per-cluster representatives (see `horizon-simpoint`). Counters are
+    /// reconstructed as weighted sums and carry a small, measured error.
+    SimPoint {
+        /// Instructions per fingerprinted interval.
+        interval: u64,
+        /// Cluster budget (a short tail interval may add one phase).
+        max_phases: u64,
+    },
+}
+
+impl SamplingPolicy {
+    /// The SimPoint policy with the `horizon-simpoint` default knobs.
+    pub fn simpoint_default() -> Self {
+        SamplingPolicy::SimPoint {
+            interval: SimPointConfig::DEFAULT_INTERVAL,
+            max_phases: SimPointConfig::DEFAULT_MAX_PHASES,
+        }
+    }
+
+    /// True for any non-exact policy.
+    pub fn is_sampled(&self) -> bool {
+        *self != SamplingPolicy::Exact
+    }
+
+    fn simpoint_config(&self) -> Option<SimPointConfig> {
+        match *self {
+            SamplingPolicy::Exact => None,
+            SamplingPolicy::SimPoint {
+                interval,
+                max_phases,
+            } => Some(SimPointConfig {
+                interval,
+                max_phases,
+            }),
+        }
+    }
+}
+
+/// Campaign configuration: simulation window, warmup, seed and sampling
+/// policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Campaign {
     /// Measured instructions per run.
@@ -66,6 +115,9 @@ pub struct Campaign {
     pub warmup: u64,
     /// Trace seed; campaigns are fully deterministic given the seed.
     pub seed: u64,
+    /// Exact simulation or phase sampling. Sampled campaigns remain fully
+    /// deterministic, but their counters are reconstructions, not replays.
+    pub sampling: SamplingPolicy,
 }
 
 impl Default for Campaign {
@@ -76,6 +128,7 @@ impl Default for Campaign {
             instructions: 300_000,
             warmup: 60_000,
             seed: 42,
+            sampling: SamplingPolicy::Exact,
         }
     }
 }
@@ -87,7 +140,14 @@ impl Campaign {
             instructions: 60_000,
             warmup: 20_000,
             seed: 42,
+            sampling: SamplingPolicy::Exact,
         }
+    }
+
+    /// Returns the campaign with the given sampling policy.
+    pub fn with_sampling(mut self, sampling: SamplingPolicy) -> Self {
+        self.sampling = sampling;
+        self
     }
 
     /// Measures every benchmark on every machine.
@@ -174,11 +234,54 @@ impl Campaign {
         profile: &WorkloadProfile,
         machines: &[MachineConfig],
     ) -> Vec<Measurement> {
+        if self.sampling.is_sampled() {
+            return self.measure_fleet_sampled(profile, machines, || {
+                TraceGenerator::new(profile, self.seed)
+            });
+        }
         let fleet = FleetSimulator::new(machines).with_warmup(self.warmup).run(
             profile,
             self.instructions,
             self.seed,
         );
+        self.wrap_power(fleet, machines)
+    }
+
+    /// Phase-sampled measurement (see `horizon-simpoint`): fingerprints the
+    /// window once, then simulates only representative slices stitched
+    /// through one persistent fleet state and reconstructs the counters.
+    /// `mk_source` is invoked once for the fingerprint pass and once for
+    /// the stitched simulation; both invocations must return the same
+    /// stream `TraceGenerator::new(profile, self.seed)` would expand, from
+    /// position 0 (a packed-trace replay qualifies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the campaign's sampling policy is [`SamplingPolicy::Exact`]
+    /// — callers decide between exact and sampled paths, this is the
+    /// sampled one.
+    pub fn measure_fleet_sampled<I: Iterator<Item = horizon_trace::Instruction>>(
+        &self,
+        profile: &WorkloadProfile,
+        machines: &[MachineConfig],
+        mk_source: impl FnMut() -> I,
+    ) -> Vec<Measurement> {
+        let config = self
+            .sampling
+            .simpoint_config()
+            .expect("measure_fleet_sampled requires a sampling policy");
+        let (_plan, fleet) = horizon_simpoint::sample_fleet(
+            &config,
+            profile,
+            machines,
+            self.warmup,
+            self.instructions,
+            mk_source,
+        );
+        self.wrap_power(fleet, machines)
+    }
+
+    fn wrap_power(&self, fleet: Vec<Counters>, machines: &[MachineConfig]) -> Vec<Measurement> {
         fleet
             .into_iter()
             .zip(machines)
@@ -204,20 +307,21 @@ impl Campaign {
         let fleet = FleetSimulator::new(machines)
             .with_warmup(self.warmup)
             .run_trace(profile, self.instructions, source);
-        fleet
-            .into_iter()
-            .zip(machines)
-            .map(|(counters, machine)| {
-                let power = PowerModel::for_machine(machine).estimate(&counters, machine);
-                Measurement { counters, power }
-            })
-            .collect()
+        self.wrap_power(fleet, machines)
     }
 
     /// Simulates a single (workload, machine) cell — the primitive every
     /// backend is built from. Fully deterministic: the result depends only
-    /// on `(profile, machine, instructions, warmup, seed)`.
+    /// on `(profile, machine, instructions, warmup, seed, sampling)`.
     pub fn measure_one(&self, profile: &WorkloadProfile, machine: &MachineConfig) -> Measurement {
+        if self.sampling.is_sampled() {
+            return self
+                .measure_fleet_sampled(profile, std::slice::from_ref(machine), || {
+                    TraceGenerator::new(profile, self.seed)
+                })
+                .pop()
+                .expect("one machine, one measurement");
+        }
         let counters = CoreSimulator::new(machine).with_warmup(self.warmup).run(
             profile,
             self.instructions,
@@ -407,6 +511,7 @@ mod tests {
             instructions: 20_000,
             warmup: 5_000,
             seed: 7,
+            ..Campaign::default()
         }
         .measure(&benchmarks, &machines)
     }

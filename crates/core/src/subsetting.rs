@@ -172,6 +172,7 @@ mod tests {
             instructions: 200_000,
             warmup: 50_000,
             seed: 42,
+            ..Campaign::default()
         }
         .measure(
             &cpu2017::speed_int(),

@@ -51,6 +51,10 @@ pub struct GcReport {
     pub trace_retained: u64,
     /// Bytes still held by the retained trace files.
     pub trace_retained_bytes: u64,
+    /// Orphaned trace temp files (interrupted publications) deleted.
+    pub trace_tmp_removed: u64,
+    /// Bytes freed by deleting those orphans.
+    pub trace_tmp_reclaimed_bytes: u64,
 }
 
 impl GcReport {
@@ -61,6 +65,8 @@ impl GcReport {
         self.trace_reclaimed_bytes += trace.reclaimed_bytes;
         self.trace_retained += trace.retained;
         self.trace_retained_bytes += trace.retained_bytes;
+        self.trace_tmp_removed += trace.tmp_removed;
+        self.trace_tmp_reclaimed_bytes += trace.tmp_reclaimed_bytes;
     }
 }
 
@@ -203,6 +209,7 @@ mod tests {
             instructions: 20_000,
             warmup: 5_000,
             seed: 7,
+            ..Campaign::default()
         };
         let profile = horizon_workloads::cpu2017::all()[0].profile().clone();
         let machine = MachineConfig::skylake_i7_6700();
@@ -272,6 +279,7 @@ mod tests {
                     instructions: 20_000,
                     warmup: 5_000,
                     seed,
+                    ..Campaign::default()
                 };
                 let fp = Fingerprint::of_job(&campaign, &profile, &machine);
                 let m = campaign.measure_one(&profile, &machine);

@@ -54,6 +54,7 @@ mod tests {
             instructions: 100_000,
             warmup: 20_000,
             seed: 1,
+            ..Campaign::default()
         }
     }
 

@@ -90,7 +90,7 @@ use crate::inflight::{Claim, FollowerTicket, InflightTable, LeaderGuard};
 use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
 use horizon_telemetry::Recorder;
 use horizon_trace::{Instruction, TraceGenerator, WorkloadProfile};
-use horizon_tracestore::PendingTrace;
+use horizon_tracestore::{PendingTrace, TraceReader};
 use horizon_uarch::MachineConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -652,6 +652,9 @@ impl Engine {
         profile: &WorkloadProfile,
         machines: &[MachineConfig],
     ) -> Vec<Measurement> {
+        if campaign.sampling.is_sampled() {
+            return self.measure_batch_sampled(campaign, profile, machines);
+        }
         let Some(store) = &self.traces else {
             return campaign.measure_fleet(profile, machines);
         };
@@ -686,6 +689,64 @@ impl Engine {
             }
         }
         measurements
+    }
+
+    /// Measures one phase-sampled fleet batch. Sampling consumes the
+    /// stream twice — once to fingerprint the intervals, once for the
+    /// stitched simulation — so with a trace store attached, a store miss
+    /// first materializes the packed trace *without simulating* and both
+    /// passes then replay it; without a store (or when the store fails)
+    /// each pass re-expands the generator. Either source yields identical
+    /// measurements, so store state still never affects results.
+    fn measure_batch_sampled(
+        &self,
+        campaign: &Campaign,
+        profile: &WorkloadProfile,
+        machines: &[MachineConfig],
+    ) -> Vec<Measurement> {
+        let window = campaign.warmup + campaign.instructions;
+        if let Some(store) = &self.traces {
+            if let Some(reader) = store.load(&TraceKey::of(profile, campaign.seed, window)) {
+                if reader.instructions() == window {
+                    self.recorder.counter_add("tracestore.hits", 1);
+                    self.recorder
+                        .counter_add("tracestore.bytes_read", reader.packed_bytes());
+                    return campaign.measure_fleet_sampled(profile, machines, || reader.iter());
+                }
+            }
+            self.recorder.counter_add("tracestore.misses", 1);
+            if let Some(reader) = self.materialize_trace(campaign, profile, window) {
+                self.recorder
+                    .counter_add("tracestore.bytes_read", reader.packed_bytes());
+                return campaign.measure_fleet_sampled(profile, machines, || reader.iter());
+            }
+        }
+        // `measure_fleet` routes sampled campaigns to the generator-backed
+        // sampled path itself.
+        campaign.measure_fleet(profile, machines)
+    }
+
+    /// Expands the `(profile, seed)` stream into the trace store without
+    /// simulating anything and reopens it for replay. `None` on any store
+    /// failure — callers fall back to the generator.
+    fn materialize_trace(
+        &self,
+        campaign: &Campaign,
+        profile: &WorkloadProfile,
+        window: u64,
+    ) -> Option<TraceReader> {
+        let store = self.traces.as_ref()?;
+        let key = TraceKey::of(profile, campaign.seed, window);
+        let mut pending = store.begin(&key, window).ok()?;
+        for inst in TraceGenerator::new(profile, campaign.seed).take(window as usize) {
+            pending.push(&inst).ok()?;
+        }
+        let bytes = pending.publish().ok()?;
+        self.recorder.counter_add("tracestore.bytes_written", bytes);
+        self.recorder
+            .counter_add("tracestore.instructions_written", window);
+        let reader = store.load(&key)?;
+        (reader.instructions() == window).then_some(reader)
     }
 
     fn emit_progress(

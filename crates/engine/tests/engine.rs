@@ -27,6 +27,7 @@ fn campaign() -> Campaign {
         instructions: 20_000,
         warmup: 5_000,
         seed: 42,
+        ..Campaign::default()
     }
 }
 

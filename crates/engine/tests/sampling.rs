@@ -1,0 +1,176 @@
+//! Engine-level guarantees of phase-sampled (`SamplingPolicy::SimPoint`)
+//! simulation: sampled runs are deterministic across worker counts,
+//! sampled and exact measurements never answer each other's memo or
+//! cache lookups, and a sampled run replayed from a warm trace store is
+//! bit-identical to one fed by the generator.
+
+use horizon_core::campaign::{Campaign, SamplingPolicy};
+use horizon_engine::Engine;
+use horizon_trace::WorkloadProfile;
+use horizon_uarch::MachineConfig;
+use horizon_workloads::cpu2017;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn profiles() -> Vec<WorkloadProfile> {
+    cpu2017::speed_int()
+        .iter()
+        .take(3)
+        .map(|b| b.profile().clone())
+        .collect()
+}
+
+fn machines() -> Vec<MachineConfig> {
+    vec![MachineConfig::skylake_i7_6700(), MachineConfig::sparc_t4()]
+}
+
+fn sampled_campaign() -> Campaign {
+    Campaign {
+        instructions: 40_000,
+        warmup: 5_000,
+        seed: 42,
+        sampling: SamplingPolicy::SimPoint {
+            interval: 5_000,
+            max_phases: 3,
+        },
+    }
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "horizon-sampling-engine-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sampled_results_bit_identical_across_worker_counts() {
+    let campaign = sampled_campaign();
+    let (profiles, machines) = (profiles(), machines());
+
+    let serial = Engine::new()
+        .with_jobs(1)
+        .measure_profiles(&campaign, &profiles, &machines);
+    let parallel = Engine::new()
+        .with_jobs(8)
+        .measure_profiles(&campaign, &profiles, &machines);
+    assert_eq!(
+        serial, parallel,
+        "sampled run must not depend on worker count"
+    );
+}
+
+#[test]
+fn sampled_and_exact_runs_never_share_memo_entries() {
+    let (profiles, machines) = (profiles(), machines());
+    let sampled = sampled_campaign();
+    let exact = Campaign {
+        sampling: SamplingPolicy::Exact,
+        ..sampled
+    };
+    let jobs = (profiles.len() * machines.len()) as u64;
+
+    let engine = Engine::new().with_jobs(2);
+
+    // Exact first: everything simulates, nothing hits.
+    let exact_result = engine.measure_profiles(&exact, &profiles, &machines);
+    let after_exact = engine.stats();
+    assert_eq!(after_exact.simulated_jobs, jobs);
+    assert_eq!(after_exact.memo_hits, 0);
+
+    // The sampled campaign shares every other knob, yet must re-simulate
+    // every job: a sampled request may never be answered by an exact
+    // measurement.
+    let sampled_result = engine.measure_profiles(&sampled, &profiles, &machines);
+    let after_sampled = engine.stats();
+    assert_eq!(
+        after_sampled.simulated_jobs,
+        2 * jobs,
+        "sampled jobs must not be served from exact memo entries"
+    );
+    assert_eq!(after_sampled.memo_hits, 0);
+    assert_ne!(
+        exact_result, sampled_result,
+        "sampled reconstruction should differ from the exact measurement"
+    );
+
+    // Re-running each campaign now hits its own memo entry — the two
+    // policies coexist under distinct fingerprints.
+    let exact_again = engine.measure_profiles(&exact, &profiles, &machines);
+    let sampled_again = engine.measure_profiles(&sampled, &profiles, &machines);
+    let final_stats = engine.stats();
+    assert_eq!(final_stats.simulated_jobs, 2 * jobs, "no new simulations");
+    assert_eq!(final_stats.memo_hits, 2 * jobs);
+    assert_eq!(exact_again, exact_result);
+    assert_eq!(sampled_again, sampled_result);
+}
+
+#[test]
+fn sampled_and_exact_runs_never_share_disk_cache_entries() {
+    let dir = scratch_dir("disk");
+    let (profiles, machines) = (profiles(), machines());
+    let sampled = sampled_campaign();
+    let exact = Campaign {
+        sampling: SamplingPolicy::Exact,
+        ..sampled
+    };
+    let jobs = (profiles.len() * machines.len()) as u64;
+
+    // Populate the disk cache with exact measurements.
+    let writer = Engine::new().with_jobs(2).with_cache_dir(&dir).unwrap();
+    let exact_result = writer.measure_profiles(&exact, &profiles, &machines);
+
+    // A fresh engine (cold memo) over the same cache dir: the sampled
+    // campaign must miss every exact entry and simulate from scratch.
+    let reader = Engine::new().with_jobs(2).with_cache_dir(&dir).unwrap();
+    let sampled_result = reader.measure_profiles(&sampled, &profiles, &machines);
+    let stats = reader.stats();
+    assert_eq!(stats.disk_hits, 0, "sampled run hit exact disk entries");
+    assert_eq!(stats.simulated_jobs, jobs);
+    assert_ne!(exact_result, sampled_result);
+
+    // And the converse: exact requests hit only the exact entries.
+    let exact_again = reader.measure_profiles(&exact, &profiles, &machines);
+    let stats = reader.stats();
+    assert_eq!(stats.disk_hits, jobs, "exact entries should disk-hit");
+    assert_eq!(stats.simulated_jobs, jobs, "exact re-run must not simulate");
+    assert_eq!(exact_again, exact_result);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampled_replay_from_trace_store_matches_generator_path() {
+    let dir = scratch_dir("replay");
+    let campaign = sampled_campaign();
+    let (profiles, machines) = (profiles(), machines());
+
+    let plain = Engine::new()
+        .with_jobs(2)
+        .measure_profiles(&campaign, &profiles, &machines);
+
+    // Cold store: the sampled batches materialize their traces through
+    // the store (fingerprint pass + stitched replay read the same file).
+    let cold_engine = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let cold = cold_engine.measure_profiles(&campaign, &profiles, &machines);
+    let cold_stats = cold_engine.stats();
+    assert_eq!(cold, plain, "write-through sampled run diverged");
+    assert_eq!(cold_stats.trace_misses, profiles.len() as u64);
+    assert!(cold_stats.trace_bytes_written > 0);
+
+    // Warm store, fresh engine: every sampled batch replays.
+    let warm_engine = Engine::new().with_jobs(2).with_trace_store(&dir).unwrap();
+    let warm = warm_engine.measure_profiles(&campaign, &profiles, &machines);
+    let warm_stats = warm_engine.stats();
+    assert_eq!(warm, plain, "replayed sampled run diverged");
+    assert_eq!(warm_stats.trace_hits, profiles.len() as u64);
+    assert_eq!(warm_stats.trace_misses, 0);
+    assert!(warm_stats.trace_bytes_read > 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -27,6 +27,7 @@ fn campaign() -> Campaign {
         instructions: 20_000,
         warmup: 5_000,
         seed: 42,
+        ..Campaign::default()
     }
 }
 
@@ -100,6 +101,7 @@ fn one_trace_feeds_other_machine_sets_and_campaign_splits() {
         instructions: 24_000,
         warmup: 1_000,
         seed: 42,
+        ..Campaign::default()
     };
     assert_eq!(
         second.instructions + second.warmup,

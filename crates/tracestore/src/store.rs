@@ -22,7 +22,15 @@ use serde::{Serialize, Value};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
+
+/// How stale a hidden `.tmp` file must be before [`TraceStore::gc`]
+/// treats it as an orphan of an interrupted [`PendingTrace`] publication
+/// rather than a concurrent in-flight write. Crashed writers never clean
+/// up their temp file (`Drop` does not run), so without this sweep the
+/// orphans accumulate invisibly — they carry no `.trace` extension, so
+/// neither `index` nor the LRU pass ever sees them.
+pub const TMP_ORPHAN_TTL: Duration = Duration::from_secs(60 * 60);
 
 /// A trace's content address: 32 lowercase hex digits over the
 /// trace-defining inputs.
@@ -81,6 +89,11 @@ pub struct TraceGc {
     pub retained: u64,
     /// Bytes still held by the retained files.
     pub retained_bytes: u64,
+    /// Orphaned `.tmp` files (interrupted publications older than
+    /// [`TMP_ORPHAN_TTL`]) deleted by the pass.
+    pub tmp_removed: u64,
+    /// Bytes freed by deleting those orphans.
+    pub tmp_reclaimed_bytes: u64,
 }
 
 /// One trace visible in the store, as reported by [`TraceStore::index`].
@@ -225,11 +238,48 @@ impl TraceStore {
         report.retained = report.examined - report.removed;
         report.retained_bytes = live;
 
+        // Sweep orphaned temp files from interrupted publications. A
+        // recent `.tmp` may be a concurrent writer mid-publication, so
+        // only files stale past TMP_ORPHAN_TTL are pruned.
+        let now = SystemTime::now();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let Ok(dirent) = dirent else { continue };
+            let path = dirent.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.starts_with('.') || !name.ends_with(".tmp") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or(Duration::ZERO);
+            if age < TMP_ORPHAN_TTL {
+                continue;
+            }
+            let len = meta.len();
+            if std::fs::remove_file(&path).is_ok() {
+                report.tmp_removed += 1;
+                report.tmp_reclaimed_bytes += len;
+            }
+        }
+
         span.record("examined", report.examined);
         span.record("removed", report.removed);
         span.record("reclaimed_bytes", report.reclaimed_bytes);
+        span.record("tmp_removed", report.tmp_removed);
         horizon_telemetry::counter_add("tracestore.gc_removed", report.removed);
         horizon_telemetry::counter_add("tracestore.gc_reclaimed_bytes", report.reclaimed_bytes);
+        horizon_telemetry::counter_add("tracestore.gc_tmp_removed", report.tmp_removed);
+        horizon_telemetry::counter_add(
+            "tracestore.gc_tmp_reclaimed_bytes",
+            report.tmp_reclaimed_bytes,
+        );
         Ok(report)
     }
 }
@@ -490,6 +540,38 @@ mod tests {
         assert_eq!(report.reclaimed_bytes, 0);
         assert_eq!(report.retained, 1);
         assert!(report.retained_bytes > 0);
+        assert!(store.load(&key).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_prunes_stale_orphaned_tmp_files_but_keeps_fresh_ones() {
+        let dir = temp_dir("gc-tmp");
+        let store = TraceStore::open(&dir).unwrap();
+        let profile = sample_profile();
+        let key = TraceKey::of(&profile, 7, 1_000);
+        write_trace(&store, &key, &profile, 7, 1_000);
+
+        // An interrupted publication: a crashed writer (here, some other
+        // pid) leaves its hidden temp file behind — Drop never ran.
+        let orphan_path = dir.join(format!(".{key}.99999.tmp"));
+        std::fs::write(&orphan_path, b"interrupted publication").unwrap();
+        assert!(orphan_path.exists());
+
+        // Fresh orphans survive: they may be a concurrent in-flight write.
+        let report = store.gc(u64::MAX).unwrap();
+        assert_eq!(report.tmp_removed, 0);
+        assert_eq!(report.tmp_reclaimed_bytes, 0);
+        assert!(orphan_path.exists());
+
+        // Aged past the TTL it is pruned, without touching the published
+        // trace.
+        set_mtime(&orphan_path, 1_000);
+        let report = store.gc(u64::MAX).unwrap();
+        assert_eq!(report.tmp_removed, 1);
+        assert!(report.tmp_reclaimed_bytes > 0);
+        assert_eq!(report.removed, 0);
+        assert!(!orphan_path.exists());
         assert!(store.load(&key).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }

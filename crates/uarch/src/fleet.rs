@@ -158,6 +158,24 @@ struct GroupSnapshots {
     dtlbs: Vec<u64>,
     /// Per TLB back lane: (walks_i, walks_d).
     tlb_backs: Vec<(u64, u64)>,
+    /// Per predictor lane: measured mispredicts so far.
+    predictors: Vec<u64>,
+}
+
+/// One contiguous stretch of the trace handed to
+/// [`FleetSimulator::run_trace_segments`]: `skip` instructions are dropped
+/// from the stream (optionally with branch-outcome functional warming),
+/// then `warmup` instructions run detailed but unmeasured, then `measure`
+/// instructions are counted. Microarchitectural state persists across
+/// segments — that carry-over is the stitched-sampling approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Instructions dropped before the detailed portion.
+    pub skip: u64,
+    /// Detailed but unmeasured instructions immediately before the window.
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
 }
 
 /// Simulates one workload on many machines from a single trace expansion.
@@ -186,6 +204,8 @@ pub struct FleetSimulator {
     machines: Vec<MachineConfig>,
     /// Instructions to run before counters start (cold-start warmup).
     warmup: u64,
+    /// Train branch predictors on skipped segment regions.
+    functional_warming: bool,
 }
 
 impl FleetSimulator {
@@ -195,12 +215,27 @@ impl FleetSimulator {
         FleetSimulator {
             machines: machines.to_vec(),
             warmup: 0,
+            functional_warming: false,
         }
     }
 
     /// Sets the warmup instruction count applied to every machine.
     pub fn with_warmup(mut self, instructions: u64) -> Self {
         self.warmup = instructions;
+        self
+    }
+
+    /// Enables SMARTS-style functional warming of skipped regions in
+    /// [`FleetSimulator::run_trace_segments`]: skipped instructions still
+    /// perform every cache, TLB and predictor state update (with
+    /// measurement disabled), so all structures — including slow-training
+    /// TAGE tables and slow-filling last-level caches — enter each
+    /// measured segment with exactly the state the full run would have
+    /// had. Only the measured footprint shrinks; reconstruction error is
+    /// then pure sampling error, never state staleness. Has no effect on
+    /// [`FleetSimulator::run_trace`], which skips nothing.
+    pub fn with_functional_warming(mut self, enabled: bool) -> Self {
+        self.functional_warming = enabled;
         self
     }
 
@@ -230,12 +265,41 @@ impl FleetSimulator {
         instructions: u64,
         source: impl Iterator<Item = Instruction>,
     ) -> Vec<Counters> {
+        let seg = TraceSegment {
+            skip: 0,
+            warmup: 0,
+            measure: instructions,
+        };
+        self.run_trace_segments(profile, &[seg], source)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Runs a sequence of [`TraceSegment`]s through **one** persistent
+    /// fleet state and returns per-segment, per-machine counters (outer
+    /// index: segment; inner: [`FleetSimulator::machines`] order).
+    ///
+    /// This is the stitched-sampling entry point: skipped instructions
+    /// are dropped from the measured stream. With
+    /// [`FleetSimulator::with_functional_warming`] set they still run the
+    /// full state update (unmeasured), keeping every structure exactly on
+    /// the full run's trajectory; without it they are skipped outright
+    /// and state carries across the gap unchanged. The simulator's own
+    /// `warmup` runs detailed at the head of the stream, before the
+    /// first segment; [`FleetSimulator::run_trace`] is exactly a
+    /// single-segment call, so the two paths cannot drift.
+    pub fn run_trace_segments(
+        &self,
+        profile: &WorkloadProfile,
+        segments: &[TraceSegment],
+        source: impl Iterator<Item = Instruction>,
+    ) -> Vec<Vec<Counters>> {
         if self.machines.is_empty() {
-            return Vec::new();
+            return segments.iter().map(|_| Vec::new()).collect();
         }
         let mut fleet = FleetState::new(&self.machines);
 
-        if self.warmup > 0 {
+        if self.warmup > 0 || segments.iter().any(|s| s.warmup > 0) {
             let _prewarm_span = horizon_telemetry::span("sim.prewarm");
             fleet.prewarm(profile);
         }
@@ -248,21 +312,38 @@ impl FleetSimulator {
                 fleet.step(&inst, false);
             }
         }
-        fleet.flush_repeats();
-        let warm = fleet.snapshots();
 
-        let mut trace = TraceCounts::default();
-        {
-            let mut measure_span = horizon_telemetry::span("sim.measure");
-            measure_span.record("instructions", instructions);
-            for inst in gen.by_ref().take(instructions as usize) {
-                trace.note(&inst);
-                fleet.step(&inst, true);
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            if seg.skip > 0 {
+                if self.functional_warming {
+                    for inst in gen.by_ref().take(seg.skip as usize) {
+                        fleet.warm_skipped(&inst);
+                    }
+                } else {
+                    gen.by_ref().nth(seg.skip as usize - 1);
+                }
             }
-        }
+            for inst in gen.by_ref().take(seg.warmup as usize) {
+                fleet.step(&inst, false);
+            }
+            fleet.flush_repeats();
+            let warm = fleet.snapshots();
 
-        fleet.flush_repeats();
-        fleet.assemble(&self.machines, profile, &trace, &warm)
+            let mut trace = TraceCounts::default();
+            {
+                let mut measure_span = horizon_telemetry::span("sim.measure");
+                measure_span.record("instructions", seg.measure);
+                for inst in gen.by_ref().take(seg.measure as usize) {
+                    trace.note(&inst);
+                    fleet.step(&inst, true);
+                }
+            }
+
+            fleet.flush_repeats();
+            out.push(fleet.assemble(&self.machines, profile, &trace, &warm));
+        }
+        out
     }
 }
 
@@ -490,6 +571,21 @@ impl FleetState {
         }
     }
 
+    /// Functional warming for one skipped instruction, SMARTS-style: the
+    /// full state update of [`FleetState::step`] with measurement
+    /// disabled. Every cache and TLB probe still installs and evicts its
+    /// lines/pages and every branch outcome still trains every predictor
+    /// lane, so the whole machine state enters the next measured segment
+    /// exactly as the full run would have left it; measured counters are
+    /// isolated by the per-segment snapshot deltas, so none of these
+    /// events are ever reported. What sampling *removes* is the measured
+    /// footprint — the instructions whose events must be attributed — not
+    /// the state updates, exactly as in SMARTS functional warming.
+    #[inline]
+    fn warm_skipped(&mut self, inst: &Instruction) {
+        self.step(inst, false);
+    }
+
     /// Folds the pending repeat-granule hit counts into every group's
     /// access counters. Must run before any counter snapshot.
     fn flush_repeats(&mut self) {
@@ -634,6 +730,7 @@ impl FleetState {
                 .iter()
                 .map(|l| (l.walks_i, l.walks_d))
                 .collect(),
+            predictors: self.predictors.iter().map(|l| l.mispredicts).collect(),
         }
     }
 
@@ -662,7 +759,8 @@ impl FleetState {
                 c.taken_branches = trace.taken_branches;
                 c.fp_ops = trace.fp_ops;
                 c.simd_ops = trace.simd_ops;
-                c.mispredicts = self.predictors[self.predictor_of[m]].mispredicts;
+                let pg = self.predictor_of[m];
+                c.mispredicts = self.predictors[pg].mispredicts - warm.predictors[pg];
 
                 let ig = self.l1i_of[m];
                 c.l1i_accesses = end.l1is[ig].0 - warm.l1is[ig].0;

@@ -18,6 +18,7 @@ fn campaign() -> Campaign {
         instructions: 150_000,
         warmup: 40_000,
         seed: 42,
+        ..Campaign::default()
     }
 }
 
