@@ -61,6 +61,14 @@ pub struct EngineStats {
     /// Instructions covered by the published traces (the denominator for
     /// bytes per instruction).
     pub trace_instructions_written: u64,
+    /// Config-identical lane groups the fleet kernels stepped (summed over
+    /// fleet constructions): each group advances every machine that shares
+    /// the structure config in one data-parallel batch.
+    pub fleet_lane_groups: u64,
+    /// Machine lanes covered by those groups (summed over fleet
+    /// constructions); `fleet_lane_groups / fleet_laned_machines` below 7
+    /// means structure dedup is collapsing work.
+    pub fleet_laned_machines: u64,
     /// Summed per-job simulation wall time, in nanoseconds. With N workers
     /// this exceeds elapsed time by up to a factor of N.
     pub simulation_wall_nanos: u64,
@@ -105,6 +113,8 @@ impl EngineStats {
             trace_bytes_written: snapshot.counter("tracestore.bytes_written"),
             trace_bytes_read: snapshot.counter("tracestore.bytes_read"),
             trace_instructions_written: snapshot.counter("tracestore.instructions_written"),
+            fleet_lane_groups: snapshot.counter("fleet.lane_groups"),
+            fleet_laned_machines: snapshot.counter("fleet.laned_machines"),
             simulation_wall_nanos: snapshot.counter("engine.simulation_wall_nanos"),
             elapsed_nanos: snapshot.counter("engine.elapsed_nanos"),
             job_timings,
@@ -182,6 +192,12 @@ impl EngineStats {
             self.simulated_instructions,
             self.instructions_per_second() / 1e6
         ));
+        if self.fleet_laned_machines > 0 {
+            out.push_str(&format!(
+                "  lane stepping:   {} machine lanes in {} config groups\n",
+                self.fleet_laned_machines, self.fleet_lane_groups
+            ));
+        }
         if self.trace_hits + self.trace_misses > 0 {
             out.push_str(&format!(
                 "  trace store:     {} hits, {} misses ({} B written, {} B read",
@@ -244,6 +260,8 @@ mod tests {
             trace_bytes_written: 300_000,
             trace_bytes_read: 900_000,
             trace_instructions_written: 100_000,
+            fleet_lane_groups: 37,
+            fleet_laned_machines: 7,
             simulation_wall_nanos: 500_000_000,
             elapsed_nanos: 250_000_000,
             job_timings: vec![],
@@ -254,6 +272,9 @@ mod tests {
         assert!((s.trace_bytes_per_instruction() - 3.0).abs() < 1e-12);
         assert!(s.summary().contains("trace store:     3 hits, 1 misses"));
         assert!(s.summary().contains("3.00 B/inst"));
+        assert!(s
+            .summary()
+            .contains("lane stepping:   7 machine lanes in 37 config groups"));
     }
 
     #[test]
@@ -307,6 +328,8 @@ mod tests {
             trace_bytes_written: 50,
             trace_bytes_read: 25,
             trace_instructions_written: 100,
+            fleet_lane_groups: 21,
+            fleet_laned_machines: 4,
             simulation_wall_nanos: 42,
             elapsed_nanos: 43,
             job_timings: vec![JobTiming {

@@ -1,0 +1,108 @@
+//! Scalar vs batched LRU probe kernels at the two geometry extremes the
+//! fleet simulates.
+//!
+//! The lane-stepping kernel's per-structure entry points
+//! ([`Cache::access_events`] / [`Tlb::access_events`] and the batched
+//! install paths) must beat — or at minimum match — per-event scalar
+//! calls on the same probe stream, or the fleet batching buys nothing at
+//! the structure level. Two geometries bracket the design space:
+//!
+//! - `cache_32k_8w` — a 64-set × 8-way L1 (every x86 machine in
+//!   Table IV): short scans, set-index spread, memo-dominated.
+//! - `tlb_512_fa` — the SPARC M7's 512-entry fully-associative DTLB:
+//!   one set, the widest wide-op scan, way-hint-dominated.
+//!
+//! The probe stream mixes granule-repeat runs with strided sweeps and
+//! random jumps so memo, hint, hit-scan and miss/victim paths all
+//! execute. Medians are recorded in `BENCH_sim.json` under
+//! `lru_kernels`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use horizon_uarch::{Cache, CacheConfig, Tlb, TlbConfig};
+
+/// Events per batched call — mirrors the fleet kernel's lane block.
+const BLOCK: usize = 256;
+/// Total probes per bench iteration.
+const PROBES: usize = 1 << 18;
+
+/// Deterministic probe stream: repeat-heavy runs over a hot footprint
+/// with periodic strided sweeps, pre-shifted to `granule`-sized keys.
+fn probe_stream(granule: u64, footprint: u64) -> Vec<(u32, u64)> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    let mut addr = 0u64;
+    let mut out = Vec::with_capacity(PROBES);
+    for i in 0..PROBES {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        match x >> 61 {
+            // Repeat the previous granule (the dominant real pattern).
+            0..=3 => {}
+            // Step to the next granule (streaming).
+            4 | 5 => addr = addr.wrapping_add(granule),
+            // Jump somewhere in the hot footprint.
+            _ => addr = (x >> 17) % footprint,
+        }
+        out.push(((i % BLOCK) as u32, addr));
+    }
+    out
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+    let cache_stream = probe_stream(64, 1 << 20);
+    let tlb_stream = probe_stream(4096, 16 << 20);
+
+    group.bench_function("cache_32k_8w_scalar", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::new(32 << 10, 8));
+            for &(_, addr) in &cache_stream {
+                cache.access(addr);
+            }
+            cache.misses()
+        })
+    });
+
+    group.bench_function("cache_32k_8w_batched", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::new(32 << 10, 8));
+            let mut misses = Vec::with_capacity(BLOCK);
+            let mut total = 0;
+            for block in cache_stream.chunks(BLOCK) {
+                misses.clear();
+                cache.access_events(block, &mut misses);
+                total += misses.len();
+            }
+            total
+        })
+    });
+
+    group.bench_function("tlb_512_fa_scalar", |b| {
+        b.iter(|| {
+            let mut tlb = Tlb::new(TlbConfig::new(512, 512));
+            for &(_, addr) in &tlb_stream {
+                tlb.access(addr);
+            }
+            tlb.misses()
+        })
+    });
+
+    group.bench_function("tlb_512_fa_batched", |b| {
+        b.iter(|| {
+            let mut tlb = Tlb::new(TlbConfig::new(512, 512));
+            let mut misses = Vec::with_capacity(BLOCK);
+            let mut total = 0;
+            for block in tlb_stream.chunks(BLOCK) {
+                misses.clear();
+                tlb.access_events(block, &mut misses);
+                total += misses.len();
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru);
+criterion_main!(benches);

@@ -37,6 +37,19 @@ pub trait BranchPredictor {
         pred == taken
     }
 
+    /// Runs a batch of resolved branches through [`BranchPredictor::execute`]
+    /// in order and returns the number of mispredictions. The fleet
+    /// kernel's lane-stepping entry point: one virtual dispatch per batch
+    /// per predictor lane instead of one per branch, with table state kept
+    /// hot across the run.
+    fn execute_lanes(&mut self, events: &[(u64, bool)]) -> u64 {
+        let mut wrong = 0;
+        for &(pc, taken) in events {
+            wrong += !self.execute(pc, taken) as u64;
+        }
+        wrong
+    }
+
     /// Short human-readable name of the predictor.
     fn name(&self) -> &'static str;
 }

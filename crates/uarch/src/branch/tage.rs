@@ -232,6 +232,65 @@ impl BranchPredictor for TageLite {
         self.history = (self.history << 1) | taken as u128;
     }
 
+    /// Fused predict + update. The split path computes each table's folded
+    /// history, index and tag up to six times per branch (`update` re-runs
+    /// `predict` and `provider`, and every `index`/`tag` call re-folds);
+    /// none of the state those derive from — `history` and the tables'
+    /// tag/valid bits — mutates before the training phase reads them, so
+    /// computing them once is bit-exact. The mutation sequence below is
+    /// ordered exactly as `update`'s: provider train → allocation → base
+    /// train → loop update → history shift.
+    fn execute(&mut self, pc: u64, taken: bool) -> bool {
+        let mut idx = [0usize; 3];
+        let mut tag = [0u16; 3];
+        for t in 0..3 {
+            let fh = self.folded_history(HISTORY_LENGTHS[t]);
+            idx[t] =
+                (((pc >> 2) ^ fh ^ (fh << 3) ^ (t as u64 * 0x9E37)) & self.table_mask) as usize;
+            tag[t] = ((pc >> 2) ^ (fh >> 2) ^ (t as u64)) as u16 & 0x3FF;
+        }
+        let provider = (0..3).rev().find(|&t| {
+            let e = &self.tables[t][idx[t]];
+            e.valid && e.tag == tag[t]
+        });
+        let bidx = ((pc >> 2) & self.base_mask) as usize;
+        let prediction = match self.loop_predict(pc) {
+            Some(p) => p,
+            None => match provider {
+                Some(t) if self.tables[t][idx[t]].confidence >= 2 => {
+                    self.tables[t][idx[t]].counter.taken()
+                }
+                _ => self.base[bidx].taken(),
+            },
+        };
+        let correct = prediction == taken;
+        match provider {
+            Some(t) => {
+                let e = &mut self.tables[t][idx[t]];
+                e.counter.train(taken);
+                e.confidence = e.confidence.saturating_add(1);
+                let provider_correct = e.counter.taken() == taken;
+                if correct {
+                    e.useful = true;
+                } else if !provider_correct {
+                    e.useful = false;
+                    if t < 2 {
+                        self.allocate_at(t + 1, idx[t + 1], tag[t + 1], taken);
+                    }
+                }
+            }
+            None => {
+                if !correct {
+                    self.allocate_at(0, idx[0], tag[0], taken);
+                }
+            }
+        }
+        self.base[bidx].train(taken);
+        self.loop_update(pc, taken);
+        self.history = (self.history << 1) | taken as u128;
+        correct
+    }
+
     fn name(&self) -> &'static str {
         "tage-lite"
     }
@@ -243,6 +302,12 @@ impl TageLite {
     fn allocate(&mut self, pc: u64, t: usize, taken: bool) {
         let idx = self.index(pc, t);
         let tag = self.tag(pc, t);
+        self.allocate_at(t, idx, tag, taken);
+    }
+
+    /// [`TageLite::allocate`] with the slot coordinates precomputed (the
+    /// fused `execute` already has them).
+    fn allocate_at(&mut self, t: usize, idx: usize, tag: u16, taken: bool) {
         let e = &mut self.tables[t][idx];
         if e.valid && e.useful && e.tag != tag {
             e.useful = false;
@@ -335,6 +400,33 @@ mod tests {
         }
         let acc = correct as f64 / total as f64;
         assert!(acc > 0.62, "accuracy {acc}");
+    }
+
+    #[test]
+    fn fused_execute_matches_split_predict_update() {
+        // The fused execute must be bit-equivalent to the trait-default
+        // predict-then-update composition on an adversarial mix of loopy,
+        // correlated and noisy branches (exercises provider hits at every
+        // table depth, allocations, and the loop predictor).
+        let mut fused = TageLite::new(10);
+        let mut split = TageLite::new(10);
+        let mut x = 0x00C0_FFEE_u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x4000 + (x >> 55) * 4;
+            let taken = match pc % 3 {
+                0 => i % 16 < 13,        // loopy
+                1 => (i / 3) % 2 == 0,   // short-history pattern
+                _ => (x >> 40) % 10 < 7, // biased noise
+            };
+            let expect = {
+                let p = split.predict(pc);
+                split.update(pc, taken);
+                p == taken
+            };
+            assert_eq!(fused.execute(pc, taken), expect, "branch {i}");
+        }
+        assert_eq!(fused.history, split.history);
     }
 
     #[test]

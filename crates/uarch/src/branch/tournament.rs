@@ -67,6 +67,23 @@ impl BranchPredictor for Tournament {
         self.gshare.update(pc, taken);
     }
 
+    /// Fused predict + update: the split path predicts each component
+    /// twice (once inside `predict`, again inside `update`); neither
+    /// component mutates between those reads, so predicting once is
+    /// bit-exact. Training order matches `update` exactly.
+    fn execute(&mut self, pc: u64, taken: bool) -> bool {
+        let g = self.gshare.predict(pc);
+        let b = self.bimodal.predict(pc);
+        let idx = self.chooser_index(pc);
+        let prediction = if self.chooser[idx].taken() { g } else { b };
+        if g != b {
+            self.chooser[idx].train(g == taken);
+        }
+        self.bimodal.update(pc, taken);
+        self.gshare.update(pc, taken);
+        prediction == taken
+    }
+
     fn name(&self) -> &'static str {
         "tournament"
     }
@@ -123,6 +140,24 @@ mod tests {
             bc += b.execute(0x2000, a_taken) as usize;
         }
         assert!(tc as f64 > bc as f64 + total as f64 * 0.1);
+    }
+
+    #[test]
+    fn fused_execute_matches_split_predict_update() {
+        let mut fused = Tournament::new(11, 9);
+        let mut split = Tournament::new(11, 9);
+        let mut x = 0xBEEFu64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 0x7000 + (x >> 56) * 4;
+            let taken = (x >> 40) % 5 < 3 || i % 4 == 0;
+            let expect = {
+                let p = split.predict(pc);
+                split.update(pc, taken);
+                p == taken
+            };
+            assert_eq!(fused.execute(pc, taken), expect, "branch {i}");
+        }
     }
 
     #[test]

@@ -103,6 +103,27 @@ impl Cache {
         hit
     }
 
+    /// Streams a batch of `(position, address)` demand probes through the
+    /// cache in order, appending the events that missed to `misses`
+    /// (positions preserved, so callers can merge miss lists from several
+    /// structures back into per-instruction order). Counter-equivalent to
+    /// calling [`Cache::access`] once per event; this is the fleet
+    /// kernel's lane-stepping entry point, which keeps the LRU clock and
+    /// memo state hot across the whole event run.
+    pub fn access_events(&mut self, events: &[(u32, u64)], misses: &mut Vec<(u32, u64)>) {
+        self.accesses += events.len() as u64;
+        let before = misses.len();
+        self.lines.touch_lanes(self.line_shift, events, misses);
+        self.misses += (misses.len() - before) as u64;
+    }
+
+    /// Batched fill-path installs: [`Cache::install`] (`mru == true`) or
+    /// [`Cache::install_lru`] per address, in order. Never touches the
+    /// access/miss counters.
+    pub fn install_lines(&mut self, addrs: &[u64], mru: bool) {
+        self.lines.fill_lanes(self.line_shift, addrs, mru);
+    }
+
     /// Total accesses so far.
     pub fn accesses(&self) -> u64 {
         self.accesses

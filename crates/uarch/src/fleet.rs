@@ -31,6 +31,14 @@
 //!    collapses 7 L1 cache front-ends to 4 and 7+7 L1 TLBs to 4+5, and
 //!    pays trace generation once instead of 7 times.
 //!
+//! On top of the dedup, the kernel is *lane-stepped*: instead of fanning
+//! each instruction out across every group, events are buffered into small
+//! program-order blocks ([`LaneBatch`]) and each group lane advances over a
+//! whole block at a time, structure-major. Shared-level lanes consume
+//! position-merged event lists that reconstruct each machine's exact
+//! per-instruction order; see `FleetState::run_batch` for the kernel order
+//! and the bit-identity argument, and DESIGN.md §16 for the full write-up.
+//!
 //! Trace-side counters (instruction mix, taken branches, kernel
 //! instructions) are likewise accumulated once at generation time. The
 //! bit-identity is enforced by fixed-vector tests here and a property test
@@ -72,6 +80,55 @@ fn dedup_groups<K: PartialEq>(keys: Vec<K>) -> (Vec<K>, Vec<usize>) {
 /// Per-event outcome bits of one data-front group.
 const DATA_MISS: u8 = 1 << 1;
 const INSTALL: u8 = 1 << 2;
+
+/// Instructions buffered per lane batch before the group kernels drain it.
+/// Big enough to amortize the per-group kernel setup and keep each
+/// structure's clock/memo/hint state hot across a whole run of events;
+/// small enough that every per-batch event list stays L1-resident.
+const LANE_BLOCK: usize = 256;
+
+/// One batch of per-structure event lists, filled in program order by
+/// [`FleetState::step`] (and the prewarm walks) and drained by
+/// [`FleetState::run_batch`]. Every list records its events' positions
+/// within the batch, so the back-lane kernels can merge two lists back
+/// into exact per-instruction order.
+#[derive(Default)]
+struct LaneBatch {
+    /// Probes folded into this batch so far (also the next position).
+    len: u32,
+    /// `(position, pc)` of fetch probes that left the current line granule.
+    fetch: Vec<(u32, u64)>,
+    /// `(position, pc)` of fetch probes that left the current page granule.
+    itlb: Vec<(u32, u64)>,
+    /// `(position, address)` of every data access.
+    data: Vec<(u32, u64)>,
+    /// `(position, address)` of data accesses that left the page granule.
+    dtlb: Vec<(u32, u64)>,
+    /// `(pc, taken)` of branches, in program order.
+    branches: Vec<(u64, bool)>,
+}
+
+impl LaneBatch {
+    fn new() -> Self {
+        LaneBatch {
+            len: 0,
+            fetch: Vec::with_capacity(LANE_BLOCK),
+            itlb: Vec::with_capacity(LANE_BLOCK),
+            data: Vec::with_capacity(LANE_BLOCK),
+            dtlb: Vec::with_capacity(LANE_BLOCK),
+            branches: Vec::with_capacity(LANE_BLOCK),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+        self.fetch.clear();
+        self.itlb.clear();
+        self.data.clear();
+        self.dtlb.clear();
+        self.branches.clear();
+    }
+}
 
 /// One machine-distinct shared-level cache (distinct full
 /// [`HierarchyConfig`]), driven by its front groups' recorded outcomes.
@@ -356,12 +413,22 @@ struct FleetState {
     dtlbs: Vec<Tlb>,
     tlb_backs: Vec<TlbBackLane>,
     predictors: Vec<PredictorLane>,
-    /// Per-event scratch, one slot per group.
-    fetch_miss: Vec<bool>,
-    /// Data-front outcome flags and the pending shared-level install line.
-    data_out: Vec<(u8, u64)>,
-    itlb_miss: Vec<bool>,
-    dtlb_miss: Vec<bool>,
+    /// Event accumulator for the current lane batch.
+    batch: LaneBatch,
+    /// Whether the buffered batch is measured. Uniform per batch: a flag
+    /// change flushes the pending batch first.
+    batch_measured: bool,
+    /// Per L1I group: the current batch's miss list, `(position, pc)`.
+    fetch_miss: Vec<Vec<(u32, u64)>>,
+    /// Per data-front group: the current batch's outcome list —
+    /// `(position, flags, install line, address)` for events with nonzero
+    /// flags only.
+    data_out: Vec<Vec<(u32, u8, u64, u64)>>,
+    /// Per I-TLB group: the current batch's miss list, `(position, pc)`.
+    itlb_miss: Vec<Vec<(u32, u64)>>,
+    /// Per D-TLB group: the current batch's miss list,
+    /// `(position, address)`.
+    dtlb_miss: Vec<Vec<(u32, u64)>>,
     // Repeat-granule fast path: when the current probe address falls in the
     // same line/page as the immediately preceding probe of the same
     // structure set, that line is resident and already MRU in *every* group
@@ -417,7 +484,7 @@ impl FleetState {
                 data_group: data_keys.iter().position(|k| *k == data_key(h)).unwrap(),
             })
             .collect();
-        let tlb_backs = tlb_back_keys
+        let tlb_backs: Vec<TlbBackLane> = tlb_back_keys
             .iter()
             .map(|t| TlbBackLane {
                 l2: t.l2.map(Tlb::new),
@@ -429,11 +496,25 @@ impl FleetState {
             .collect();
         let min_shift =
             |it: &mut dyn Iterator<Item = u64>| it.map(|b| b.trailing_zeros()).min().unwrap_or(0);
+        // Lane-dedup effectiveness counters: group lanes actually stepped
+        // vs. machines riding them (7 machines → 37 lanes in Table IV,
+        // where fully independent simulation would step 49 structures).
+        let lane_groups = l1i_keys.len()
+            + data_keys.len()
+            + cache_backs.len()
+            + itlb_keys.len()
+            + dtlb_keys.len()
+            + tlb_backs.len()
+            + pred_keys.len();
+        horizon_telemetry::counter_add("fleet.lane_groups", lane_groups as u64);
+        horizon_telemetry::counter_add("fleet.laned_machines", machines.len() as u64);
         FleetState {
-            fetch_miss: vec![false; l1i_keys.len()],
-            data_out: vec![(0, 0); data_keys.len()],
-            itlb_miss: vec![false; itlb_keys.len()],
-            dtlb_miss: vec![false; dtlb_keys.len()],
+            batch: LaneBatch::new(),
+            batch_measured: false,
+            fetch_miss: vec![Vec::with_capacity(LANE_BLOCK); l1i_keys.len()],
+            data_out: vec![Vec::with_capacity(LANE_BLOCK); data_keys.len()],
+            itlb_miss: vec![Vec::with_capacity(LANE_BLOCK); itlb_keys.len()],
+            dtlb_miss: vec![Vec::with_capacity(LANE_BLOCK); dtlb_keys.len()],
             last_fetch_line: u64::MAX,
             last_fetch_page: u64::MAX,
             last_data_page: u64::MAX,
@@ -469,106 +550,170 @@ impl FleetState {
         }
     }
 
-    /// Fans one instruction out across every group lane.
+    /// Folds one instruction into the current lane batch, draining through
+    /// the group kernels when the batch fills or the measured flag flips.
     ///
-    /// Per structure this replays the exact per-instruction call sequence
-    /// of `CoreSimulator::run`; structures are mutually independent, so
-    /// reordering *between* them (all fronts, then all back ends, ...) is
-    /// invisible in the counters while letting the host overlap the
-    /// independent per-group update chains.
+    /// Per structure the batch replays the exact per-instruction call
+    /// sequence of `CoreSimulator::run` (see [`FleetState::run_batch`]);
+    /// structures are mutually independent, so deferring and regrouping
+    /// events *between* them is invisible in the counters while letting
+    /// every group's kernel run structure-major over a whole block.
     #[inline]
     fn step(&mut self, inst: &Instruction, measured: bool) {
+        if measured != self.batch_measured {
+            self.run_batch();
+            self.batch_measured = measured;
+        }
         let pc = inst.pc;
-        let data = match inst.kind {
-            Kind::Load { addr, .. } | Kind::Store { addr, .. } => Some(addr),
-            _ => None,
-        };
+        let pos = self.batch.len;
+        self.batch.len += 1;
 
-        // The back lanes replay each machine's per-instruction order from
-        // MemoryHierarchy::access — fetch demand, then prefetch install,
-        // then data demand — split into one loop per event; back lanes are
-        // disjoint structures, so interleaving across lanes is invisible,
-        // and a skipped (repeat-hit) front event has no back event at all.
+        // Repeat-granule fast path (see the field docs): a granule-repeat
+        // probe is a guaranteed MRU hit in every group, credited in bulk
+        // at flush_repeats; only granule-crossing probes become events.
         let fetch_line = pc >> self.l1i_min_shift;
         if fetch_line == self.last_fetch_line {
             self.l1i_repeats += 1;
         } else {
             self.last_fetch_line = fetch_line;
-            for (l1i, miss) in self.l1i_lanes.iter_mut().zip(&mut self.fetch_miss) {
-                *miss = !l1i.access(pc);
+            self.batch.fetch.push((pos, pc));
+        }
+        let fetch_page = pc >> self.itlb_min_shift;
+        if fetch_page == self.last_fetch_page {
+            self.itlb_repeats += 1;
+        } else {
+            self.last_fetch_page = fetch_page;
+            self.batch.itlb.push((pos, pc));
+        }
+        match inst.kind {
+            Kind::Load { addr, .. } | Kind::Store { addr, .. } => {
+                self.batch.data.push((pos, addr));
+                let page = addr >> self.dtlb_min_shift;
+                if page == self.last_data_page {
+                    self.dtlb_repeats += 1;
+                } else {
+                    self.last_data_page = page;
+                    self.batch.dtlb.push((pos, addr));
+                }
             }
-            for lane in &mut self.cache_backs {
-                if self.fetch_miss[lane.l1i_group] {
-                    lane.back.demand(pc, AccessKind::Fetch);
+            Kind::Branch { taken, .. } => self.batch.branches.push((pc, taken)),
+            _ => {}
+        }
+        if self.batch.len as usize >= LANE_BLOCK {
+            self.run_batch();
+        }
+    }
+
+    /// Drains the buffered batch through the per-group lane kernels.
+    ///
+    /// Kernel order and the bit-identity argument:
+    ///
+    /// 1. **L1I groups**, then **data-front groups**: pure front-end
+    ///    structures, each consuming its own event list in program order —
+    ///    exactly the probe sequence the per-instruction fan-out produced.
+    /// 2. **Cache back lanes**: each lane merges its L1I group's miss list
+    ///    with its data group's outcome list by batch position — fetch
+    ///    before data on the same instruction, and prefetch install before
+    ///    demand within one data event — which is exactly the
+    ///    per-instruction call sequence of `MemoryHierarchy::access`. The
+    ///    shared levels are *one* structure serving both sides, so this
+    ///    merge (rather than per-side batches) is what keeps their LRU
+    ///    evolution bit-identical.
+    /// 3. **I-TLB / D-TLB groups**, then **TLB back lanes** under the same
+    ///    position merge (instruction-side refill first, matching
+    ///    `TlbHierarchy`'s per-instruction order; the L2 TLB is shared
+    ///    between the sides just like the L2/L3 caches).
+    /// 4. **Predictor lanes**: the batch's branch list in program order,
+    ///    one virtual dispatch per lane per batch.
+    ///
+    /// A partial batch (segment boundary, measured-flag flip, end of
+    /// stream) drains through the identical kernels — the scalar tail is
+    /// just a shorter block.
+    fn run_batch(&mut self) {
+        if self.batch.len == 0 {
+            return;
+        }
+        for (l1i, out) in self.l1i_lanes.iter_mut().zip(&mut self.fetch_miss) {
+            out.clear();
+            l1i.access_events(&self.batch.fetch, out);
+        }
+        for (front, out) in self.data_lanes.iter_mut().zip(&mut self.data_out) {
+            out.clear();
+            for &(pos, addr) in &self.batch.data {
+                let (hit, install) = front.access(addr);
+                if !hit || install.is_some() {
+                    let mut flags = ((!hit) as u8) << 1;
+                    let mut line = 0;
+                    if let Some(l) = install {
+                        flags |= INSTALL;
+                        line = l;
+                    }
+                    out.push((pos, flags, line, addr));
                 }
             }
         }
-        if let Some(addr) = data {
-            for (front, out) in self.data_lanes.iter_mut().zip(&mut self.data_out) {
-                let (hit, install) = front.access(addr);
-                let mut flags = ((!hit) as u8) << 1;
-                let mut line = 0;
-                if let Some(l) = install {
-                    flags |= INSTALL;
-                    line = l;
-                }
-                *out = (flags, line);
-            }
-            for lane in &mut self.cache_backs {
-                let (flags, line) = self.data_out[lane.data_group];
-                if flags != 0 {
+        for lane in &mut self.cache_backs {
+            let fm = &self.fetch_miss[lane.l1i_group];
+            let dd = &self.data_out[lane.data_group];
+            let (mut i, mut j) = (0, 0);
+            while i < fm.len() || j < dd.len() {
+                let fpos = fm.get(i).map_or(u32::MAX, |e| e.0);
+                let dpos = dd.get(j).map_or(u32::MAX, |e| e.0);
+                // Fetch precedes data on the same instruction.
+                if fpos <= dpos {
+                    lane.back.demand(fm[i].1, AccessKind::Fetch);
+                    i += 1;
+                } else {
+                    let (_, flags, line, addr) = dd[j];
                     if flags & INSTALL != 0 {
                         lane.back.install_shared(line);
                     }
                     if flags & DATA_MISS != 0 {
                         lane.back.demand(addr, AccessKind::Data);
                     }
+                    j += 1;
                 }
             }
         }
-
-        // Instruction-side TLB refills precede the data-side refills, as in
-        // the per-instruction order of TlbHierarchy calls; a repeat-hit
-        // front page produces no refill on any lane.
-        let fetch_page = pc >> self.itlb_min_shift;
-        if fetch_page == self.last_fetch_page {
-            self.itlb_repeats += 1;
-        } else {
-            self.last_fetch_page = fetch_page;
-            for (tlb, miss) in self.itlbs.iter_mut().zip(&mut self.itlb_miss) {
-                *miss = !tlb.access(pc);
-            }
-            for lane in &mut self.tlb_backs {
-                if self.itlb_miss[lane.itlb_group] && lane.refill(pc) {
-                    lane.walks_i += 1;
-                }
-            }
+        for (tlb, out) in self.itlbs.iter_mut().zip(&mut self.itlb_miss) {
+            out.clear();
+            tlb.access_events(&self.batch.itlb, out);
         }
-        if let Some(addr) = data {
-            let page = addr >> self.dtlb_min_shift;
-            if page == self.last_data_page {
-                self.dtlb_repeats += 1;
-            } else {
-                self.last_data_page = page;
-                for (tlb, miss) in self.dtlbs.iter_mut().zip(&mut self.dtlb_miss) {
-                    *miss = !tlb.access(addr);
-                }
-                for lane in &mut self.tlb_backs {
-                    if self.dtlb_miss[lane.dtlb_group] && lane.refill(addr) {
+        for (tlb, out) in self.dtlbs.iter_mut().zip(&mut self.dtlb_miss) {
+            out.clear();
+            tlb.access_events(&self.batch.dtlb, out);
+        }
+        for lane in &mut self.tlb_backs {
+            let im = &self.itlb_miss[lane.itlb_group];
+            let dm = &self.dtlb_miss[lane.dtlb_group];
+            let (mut i, mut j) = (0, 0);
+            while i < im.len() || j < dm.len() {
+                let ipos = im.get(i).map_or(u32::MAX, |e| e.0);
+                let dpos = dm.get(j).map_or(u32::MAX, |e| e.0);
+                // Instruction-side refill precedes data-side.
+                if ipos <= dpos {
+                    if lane.refill(im[i].1) {
+                        lane.walks_i += 1;
+                    }
+                    i += 1;
+                } else {
+                    if lane.refill(dm[j].1) {
                         lane.walks_d += 1;
                     }
+                    j += 1;
                 }
             }
         }
-
-        if let Kind::Branch { taken, .. } = inst.kind {
+        if !self.batch.branches.is_empty() {
+            let measured = self.batch_measured;
             for lane in &mut self.predictors {
-                let correct = lane.predictor.execute(pc, taken);
-                if measured && !correct {
-                    lane.mispredicts += 1;
+                let wrong = lane.predictor.execute_lanes(&self.batch.branches);
+                if measured {
+                    lane.mispredicts += wrong;
                 }
             }
         }
+        self.batch.clear();
     }
 
     /// Functional warming for one skipped instruction, SMARTS-style: the
@@ -586,9 +731,11 @@ impl FleetState {
         self.step(inst, false);
     }
 
-    /// Folds the pending repeat-granule hit counts into every group's
-    /// access counters. Must run before any counter snapshot.
+    /// Drains the pending lane batch and folds the pending repeat-granule
+    /// hit counts into every group's access counters. Must run before any
+    /// counter snapshot.
     fn flush_repeats(&mut self) {
+        self.run_batch();
         for l1i in &mut self.l1i_lanes {
             l1i.credit_hits(self.l1i_repeats);
         }
@@ -603,9 +750,11 @@ impl FleetState {
         self.dtlb_repeats = 0;
     }
 
-    /// One pass of the prewarm address walks for the whole fleet: the
-    /// region layout and the address loops run once; every group sees the
-    /// same probe sequence a per-machine prewarm would have produced.
+    /// One pass of the prewarm address walks for the whole fleet, riding
+    /// the same lane kernels as simulation (batch-prewarm): the region
+    /// layout and the address loops run once, probes accumulate into
+    /// batches, and one region walk warms every lane of every group. Per
+    /// structure the probe sequence is identical to a per-machine prewarm.
     fn prewarm(&mut self, profile: &WorkloadProfile) {
         for (base, bytes) in horizon_trace::region_layout(profile) {
             if bytes <= PREWARM_LIMIT {
@@ -624,72 +773,48 @@ impl FleetState {
                 self.prewarm_fetch(addr);
             }
         }
+        // The tail batch stays pending: warmup instructions are unmeasured
+        // too, so they share it; any snapshot path drains it first.
     }
 
+    /// Data-side prewarm probe: a data access with no fetch side, batched
+    /// like any other event.
     fn prewarm_data(&mut self, addr: u64) {
-        for (front, out) in self.data_lanes.iter_mut().zip(&mut self.data_out) {
-            let (hit, install) = front.access(addr);
-            let mut flags = ((!hit) as u8) << 1;
-            let mut line = 0;
-            if let Some(l) = install {
-                flags |= INSTALL;
-                line = l;
-            }
-            *out = (flags, line);
-        }
-        for lane in &mut self.cache_backs {
-            let (flags, line) = self.data_out[lane.data_group];
-            if flags & INSTALL != 0 {
-                lane.back.install_shared(line);
-            }
-            if flags & DATA_MISS != 0 {
-                lane.back.demand(addr, AccessKind::Data);
-            }
-        }
+        let pos = self.batch.len;
+        self.batch.len += 1;
+        self.batch.data.push((pos, addr));
         let page = addr >> self.dtlb_min_shift;
         if page == self.last_data_page {
             self.dtlb_repeats += 1;
-            return;
+        } else {
+            self.last_data_page = page;
+            self.batch.dtlb.push((pos, addr));
         }
-        self.last_data_page = page;
-        for (tlb, miss) in self.dtlbs.iter_mut().zip(&mut self.dtlb_miss) {
-            *miss = !tlb.access(addr);
-        }
-        for lane in &mut self.tlb_backs {
-            if self.dtlb_miss[lane.dtlb_group] && lane.refill(addr) {
-                lane.walks_d += 1;
-            }
+        if self.batch.len as usize >= LANE_BLOCK {
+            self.run_batch();
         }
     }
 
+    /// Fetch-side prewarm probe: an instruction fetch with no data side.
     fn prewarm_fetch(&mut self, addr: u64) {
+        let pos = self.batch.len;
+        self.batch.len += 1;
         let line = addr >> self.l1i_min_shift;
-        if line != self.last_fetch_line {
-            self.last_fetch_line = line;
-            for (l1i, miss) in self.l1i_lanes.iter_mut().zip(&mut self.fetch_miss) {
-                *miss = !l1i.access(addr);
-            }
-            for lane in &mut self.cache_backs {
-                if self.fetch_miss[lane.l1i_group] {
-                    lane.back.demand(addr, AccessKind::Fetch);
-                }
-            }
-        } else {
+        if line == self.last_fetch_line {
             self.l1i_repeats += 1;
+        } else {
+            self.last_fetch_line = line;
+            self.batch.fetch.push((pos, addr));
         }
         let page = addr >> self.itlb_min_shift;
         if page == self.last_fetch_page {
             self.itlb_repeats += 1;
-            return;
+        } else {
+            self.last_fetch_page = page;
+            self.batch.itlb.push((pos, addr));
         }
-        self.last_fetch_page = page;
-        for (tlb, miss) in self.itlbs.iter_mut().zip(&mut self.itlb_miss) {
-            *miss = !tlb.access(addr);
-        }
-        for lane in &mut self.tlb_backs {
-            if self.itlb_miss[lane.itlb_group] && lane.refill(addr) {
-                lane.walks_i += 1;
-            }
+        if self.batch.len as usize >= LANE_BLOCK {
+            self.run_batch();
         }
     }
 

@@ -1,0 +1,89 @@
+//! Hand-rolled 4-wide `u64` lane primitives for the hot scan kernels.
+//!
+//! The crate's MSRV (1.82) predates `std::simd`, so the wide operations the
+//! fleet kernel needs — tag-equality scans and LRU stamp min-reductions over
+//! the interleaved [`crate::lru::LruSets`] layout — are written as explicit
+//! `[u64; 4]` lane structs with straight-line, branch-free per-lane bodies.
+//! LLVM autovectorizes each method to one SSE2/AVX compare or min sequence
+//! (verified via the `lru` and `fleet` criterion benches); nothing here
+//! assumes a particular target feature level.
+
+/// Four `u64` lanes processed together. A thin, copyable wrapper so the
+/// scan kernels read as vector code while staying scalar-semantics-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct U64x4(pub(crate) [u64; 4]);
+
+impl U64x4 {
+    /// All four lanes set to `v`.
+    #[inline]
+    pub(crate) fn splat(v: u64) -> Self {
+        U64x4([v; 4])
+    }
+
+    /// Loads four consecutive lanes from the head of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has fewer than four elements.
+    #[inline]
+    pub(crate) fn load(s: &[u64]) -> Self {
+        U64x4([s[0], s[1], s[2], s[3]])
+    }
+
+    /// Bitmask of lanes equal to the corresponding lane of `other`
+    /// (bit *i* ⇔ lane *i*), the movemask idiom: `trailing_zeros` on the
+    /// result is the first matching lane.
+    #[inline]
+    pub(crate) fn eq_mask(self, other: Self) -> u32 {
+        let mut m = 0u32;
+        for i in 0..4 {
+            m |= ((self.0[i] == other.0[i]) as u32) << i;
+        }
+        m
+    }
+
+    /// Lane-wise minimum.
+    #[inline]
+    pub(crate) fn min_lanes(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = (*o).min(b);
+        }
+        U64x4(out)
+    }
+
+    /// Horizontal minimum across the four lanes.
+    #[inline]
+    pub(crate) fn hmin(self) -> u64 {
+        self.0[0].min(self.0[1]).min(self.0[2].min(self.0[3]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_mask_flags_matching_lanes() {
+        let v = U64x4([7, 9, 7, 0]);
+        assert_eq!(v.eq_mask(U64x4::splat(7)), 0b0101);
+        assert_eq!(v.eq_mask(U64x4::splat(9)), 0b0010);
+        assert_eq!(v.eq_mask(U64x4::splat(1)), 0);
+        assert_eq!(U64x4::splat(3).eq_mask(U64x4::splat(3)), 0b1111);
+    }
+
+    #[test]
+    fn min_reduction() {
+        let a = U64x4([5, 2, 9, 4]);
+        let b = U64x4([1, 8, 3, 4]);
+        assert_eq!(a.min_lanes(b), U64x4([1, 2, 3, 4]));
+        assert_eq!(a.hmin(), 2);
+        assert_eq!(U64x4::splat(u64::MAX).hmin(), u64::MAX);
+    }
+
+    #[test]
+    fn load_reads_prefix() {
+        let s = [10u64, 11, 12, 13, 14];
+        assert_eq!(U64x4::load(&s), U64x4([10, 11, 12, 13]));
+    }
+}

@@ -33,6 +33,7 @@ mod cache;
 mod counters;
 mod fleet;
 mod hierarchy;
+mod lanes;
 mod lru;
 mod machine;
 mod power;

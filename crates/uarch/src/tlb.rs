@@ -81,6 +81,18 @@ impl Tlb {
         hit
     }
 
+    /// Streams a batch of `(position, address)` lookups through the TLB in
+    /// order, appending the events that missed to `misses` (positions
+    /// preserved for per-instruction merging). Counter-equivalent to
+    /// calling [`Tlb::access`] once per event; the fleet kernel's
+    /// lane-stepping entry point.
+    pub fn access_events(&mut self, events: &[(u32, u64)], misses: &mut Vec<(u32, u64)>) {
+        self.accesses += events.len() as u64;
+        let before = misses.len();
+        self.entries.touch_lanes(self.page_shift, events, misses);
+        self.misses += (misses.len() - before) as u64;
+    }
+
     /// Total lookups.
     pub fn accesses(&self) -> u64 {
         self.accesses
