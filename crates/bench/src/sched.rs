@@ -48,6 +48,19 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Estimated cost of one run: [`Experiment::weight`] × campaign window
+/// (warmup + measured instructions). The single definition both the HTTP
+/// layer (admission weighting, ETA hints) and the scheduler (largest-first
+/// dispatch) price runs with — computed once per request and carried in
+/// the queued entry, never re-derived during queue scans.
+pub(crate) fn estimated_cost(experiment: &Experiment, cfg: &ReproConfig) -> u64 {
+    experiment.weight.saturating_mul(
+        cfg.campaign
+            .instructions
+            .saturating_add(cfg.campaign.warmup),
+    )
+}
+
 /// Identity of a run for coalescing: everything that shapes the report.
 ///
 /// `jobs` (wall-clock only — engine results are worker-count invariant)
@@ -260,14 +273,17 @@ impl RunScheduler {
 
     /// Submits a run: returns its slot plus whether this submission
     /// coalesced onto an already in-flight identical run (counted in
-    /// `serve.coalesced_runs`). A leader's run is enqueued by estimated
-    /// cost; the caller then waits on the slot under its own deadline.
+    /// `serve.coalesced_runs`). A leader's run is enqueued by `cost`
+    /// (the caller's [`estimated_cost`], priced once at admission and
+    /// carried into the queued entry); the caller then waits on the slot
+    /// under its own deadline.
     pub(crate) fn submit(
         &self,
         experiment: &'static Experiment,
         key: RunKey,
         cfg: ReproConfig,
         jobs: Option<usize>,
+        cost: u64,
     ) -> (Arc<RunSlot>, bool) {
         let slot = {
             let mut inflight = lock(&self.shared.inflight);
@@ -282,11 +298,6 @@ impl RunScheduler {
             slot
         };
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        let cost = experiment.weight.saturating_mul(
-            cfg.campaign
-                .instructions
-                .saturating_add(cfg.campaign.warmup),
-        );
         let run = QueuedRun {
             cost,
             seq: self.shared.seq.fetch_add(1, Ordering::SeqCst),
@@ -421,8 +432,9 @@ mod tests {
         let experiment = find_experiment("table1").expect("registry");
         let cfg = ReproConfig::smoke();
         let (first, coalesced_first) =
-            sched.submit(experiment, key_for(experiment), cfg.clone(), None);
-        let (second, coalesced_second) = sched.submit(experiment, key_for(experiment), cfg, None);
+            sched.submit(experiment, key_for(experiment), cfg.clone(), None, 1);
+        let (second, coalesced_second) =
+            sched.submit(experiment, key_for(experiment), cfg, None, 1);
         assert!(!coalesced_first, "the first submission leads");
         assert!(
             coalesced_second,
@@ -453,7 +465,13 @@ mod tests {
     fn deadline_expired_waiter_detaches_without_poisoning_co_waiters() {
         let (sched, recorder) = scheduler(1);
         let experiment = find_experiment("table1").expect("registry");
-        let (slot, _) = sched.submit(experiment, key_for(experiment), ReproConfig::smoke(), None);
+        let (slot, _) = sched.submit(
+            experiment,
+            key_for(experiment),
+            ReproConfig::smoke(),
+            None,
+            1,
+        );
         // 43 benchmarks of simulation cannot finish in a millisecond: the
         // impatient waiter times out and detaches...
         assert!(
@@ -487,14 +505,20 @@ mod tests {
     #[test]
     fn panicking_run_answers_waiters_cleanly_and_spares_the_worker() {
         let (sched, _recorder) = scheduler(1);
-        let (slot, _) = sched.submit(&BOOM, key_for(&BOOM), ReproConfig::smoke(), None);
+        let (slot, _) = sched.submit(&BOOM, key_for(&BOOM), ReproConfig::smoke(), None, 1);
         let output = slot.wait(Duration::from_secs(30)).expect("published error");
         let error = output.report.expect_err("panicking run maps to an error");
         assert!(error.contains("panicked"), "{error}");
         assert!(error.contains("injected run fault"), "{error}");
         // The worker survived the panic and still executes new runs.
         let experiment = find_experiment("table1").expect("registry");
-        let (next, _) = sched.submit(experiment, key_for(experiment), ReproConfig::smoke(), None);
+        let (next, _) = sched.submit(
+            experiment,
+            key_for(experiment),
+            ReproConfig::smoke(),
+            None,
+            1,
+        );
         let output = next.wait(Duration::from_secs(60)).expect("worker alive");
         assert!(output.report.is_ok());
         sched.shutdown(Duration::from_secs(10));
@@ -526,5 +550,59 @@ mod tests {
             vec![(700, 1), (700, 2), (43, 3), (10, 0)],
             "largest cost first, FIFO among equals"
         );
+    }
+
+    #[test]
+    fn dispatch_order_is_stable_under_concurrent_submits() {
+        // Mirrors `submit`'s enqueue discipline — take a sequence number,
+        // then push under the queue lock — from many threads at once. The
+        // cost stored in each entry is priced exactly once (at submit), so
+        // however the pushes interleave, draining the heap must observe
+        // descending cost with strictly increasing seq among equals: no
+        // entry's priority can drift while it sits in the queue.
+        let experiment = find_experiment("table1").expect("registry");
+        let queue = Arc::new(Mutex::new(BinaryHeap::new()));
+        let seq = Arc::new(AtomicU64::new(0));
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 50;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let queue = Arc::clone(&queue);
+                let seq = Arc::clone(&seq);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        // Three cost classes, interleaved differently per
+                        // thread so equal-cost entries arrive from many
+                        // threads at once.
+                        let cost = [10u64, 500, 10_000][((t + i) % 3) as usize];
+                        let run = QueuedRun {
+                            cost,
+                            seq: seq.fetch_add(1, Ordering::SeqCst),
+                            key: key_for(experiment),
+                            experiment,
+                            cfg: ReproConfig::smoke(),
+                            jobs: None,
+                            slot: Arc::new(RunSlot::default()),
+                        };
+                        lock(&queue).push(run);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("submitter thread");
+        }
+        let mut queue = lock(&queue);
+        let drained: Vec<(u64, u64)> = std::iter::from_fn(|| queue.pop())
+            .map(|r| (r.cost, r.seq))
+            .collect();
+        assert_eq!(drained.len(), (THREADS * PER_THREAD) as usize);
+        for window in drained.windows(2) {
+            let ((cost_a, seq_a), (cost_b, seq_b)) = (window[0], window[1]);
+            assert!(
+                cost_a > cost_b || (cost_a == cost_b && seq_a < seq_b),
+                "unstable dispatch order: ({cost_a}, seq {seq_a}) before ({cost_b}, seq {seq_b})"
+            );
+        }
     }
 }

@@ -84,13 +84,13 @@ pub use stats::{EngineStats, JobTiming};
 // The trace-store types a CLI needs to manage the store the engine reads
 // and writes (GC passes, direct inspection), re-exported so callers don't
 // grow their own `horizon-tracestore` dependency.
-pub use horizon_tracestore::{TraceGc, TraceKey, TraceStore};
+pub use horizon_tracestore::{TraceGc, TraceKey, TraceReader, TraceStore};
 
 use crate::inflight::{Claim, FollowerTicket, InflightTable, LeaderGuard};
 use horizon_core::campaign::{Campaign, CampaignExecutor, CampaignResult, Measurement};
 use horizon_telemetry::Recorder;
 use horizon_trace::{Instruction, TraceGenerator, WorkloadProfile};
-use horizon_tracestore::{PendingTrace, TraceReader};
+use horizon_tracestore::PendingTrace;
 use horizon_uarch::MachineConfig;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +114,13 @@ pub struct ProgressEvent {
 
 type ProgressCallback = Box<dyn Fn(&ProgressEvent) + Send + Sync>;
 
+/// A cluster hook consulted on trace-store miss: given the missing key,
+/// fetch the packed trace from a sibling node's store (and typically
+/// install it locally) before the engine falls back to regeneration.
+/// Returning `None` means "no sibling had it" — strictly best-effort,
+/// like every other cache layer.
+type PeerFetch = Box<dyn Fn(&TraceKey) -> Option<TraceReader> + Send + Sync>;
+
 /// The execution engine. Cheap to construct; hold one for the process
 /// lifetime to maximize memoization.
 pub struct Engine {
@@ -128,6 +135,7 @@ pub struct Engine {
     inflight: InflightTable,
     recorder: Arc<Recorder>,
     progress: Option<ProgressCallback>,
+    peer_fetch: Option<PeerFetch>,
 }
 
 impl Default for Engine {
@@ -148,6 +156,7 @@ impl Engine {
             inflight: InflightTable::default(),
             recorder: Arc::new(Recorder::new()),
             progress: None,
+            peer_fetch: None,
         }
     }
 
@@ -246,6 +255,22 @@ impl Engine {
     /// whenever no campaigns overlap.
     pub fn inflight_waiting(&self) -> usize {
         self.inflight.waiting()
+    }
+
+    /// Registers a cluster peer-fetch hook, consulted when a trace-store
+    /// probe misses: the hook may stream the packed trace from a sibling
+    /// node's store (installing it locally so the next probe hits) and the
+    /// engine replays it instead of regenerating. A `None` return, a
+    /// window mismatch, or any hook failure degrades to plain
+    /// regeneration — peering can only change wall clock, never results.
+    /// Counted as `tracestore.peer_hits` / `tracestore.peer_misses`.
+    #[must_use]
+    pub fn with_peer_fetch(
+        mut self,
+        fetch: impl Fn(&TraceKey) -> Option<TraceReader> + Send + Sync + 'static,
+    ) -> Self {
+        self.peer_fetch = Some(Box::new(fetch));
+        self
     }
 
     /// Registers a progress callback, invoked once per unique job as it
@@ -669,6 +694,9 @@ impl Engine {
             }
         }
         self.recorder.counter_add("tracestore.misses", 1);
+        if let Some(reader) = self.fetch_peer_trace(&key, window) {
+            return campaign.measure_fleet_trace(profile, machines, reader.iter());
+        }
         let Ok(mut pending) = store.begin(&key, window) else {
             // Store directory unusable (permissions, disk full): simulate
             // without it rather than failing the campaign.
@@ -706,7 +734,8 @@ impl Engine {
     ) -> Vec<Measurement> {
         let window = campaign.warmup + campaign.instructions;
         if let Some(store) = &self.traces {
-            if let Some(reader) = store.load(&TraceKey::of(profile, campaign.seed, window)) {
+            let key = TraceKey::of(profile, campaign.seed, window);
+            if let Some(reader) = store.load(&key) {
                 if reader.instructions() == window {
                     self.recorder.counter_add("tracestore.hits", 1);
                     self.recorder
@@ -715,6 +744,9 @@ impl Engine {
                 }
             }
             self.recorder.counter_add("tracestore.misses", 1);
+            if let Some(reader) = self.fetch_peer_trace(&key, window) {
+                return campaign.measure_fleet_sampled(profile, machines, || reader.iter());
+            }
             if let Some(reader) = self.materialize_trace(campaign, profile, window) {
                 self.recorder
                     .counter_add("tracestore.bytes_read", reader.packed_bytes());
@@ -724,6 +756,22 @@ impl Engine {
         // `measure_fleet` routes sampled campaigns to the generator-backed
         // sampled path itself.
         campaign.measure_fleet(profile, machines)
+    }
+
+    /// Consults the peer-fetch hook for a missing trace. `None` when no
+    /// hook is installed, the hook finds nothing, or the fetched trace's
+    /// window disagrees with the requested one (a sibling running a
+    /// different schema — discard rather than mis-replay).
+    fn fetch_peer_trace(&self, key: &TraceKey, window: u64) -> Option<TraceReader> {
+        let fetch = self.peer_fetch.as_ref()?;
+        let Some(reader) = fetch(key).filter(|r| r.instructions() == window) else {
+            self.recorder.counter_add("tracestore.peer_misses", 1);
+            return None;
+        };
+        self.recorder.counter_add("tracestore.peer_hits", 1);
+        self.recorder
+            .counter_add("tracestore.bytes_read", reader.packed_bytes());
+        Some(reader)
     }
 
     /// Expands the `(profile, seed)` stream into the trace store without
